@@ -1,0 +1,164 @@
+//! Vertex frontiers with Ligra-style dense/sparse duality.
+//!
+//! A frontier is the set of active vertices in one iteration. Ligra
+//! switches between push (iterate the sparse member list) and pull
+//! (scan all vertices, test membership) based on how many out-edges
+//! the frontier covers; [`Frontier`] keeps both representations so
+//! either traversal is cheap.
+
+use lgr_graph::{Csr, VertexId};
+
+/// A set of active vertices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Frontier {
+    dense: Vec<bool>,
+    members: Vec<VertexId>,
+}
+
+impl Frontier {
+    /// An empty frontier over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Frontier {
+            dense: vec![false; n],
+            members: Vec::new(),
+        }
+    }
+
+    /// A frontier containing every vertex.
+    pub fn full(n: usize) -> Self {
+        Frontier {
+            dense: vec![true; n],
+            members: (0..n as VertexId).collect(),
+        }
+    }
+
+    /// A frontier containing exactly `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn single(n: usize, v: VertexId) -> Self {
+        let mut f = Frontier::empty(n);
+        f.add(v);
+        f
+    }
+
+    /// Number of active vertices.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if no vertex is active.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Capacity (total vertices).
+    pub fn num_vertices(&self) -> usize {
+        self.dense.len()
+    }
+
+    /// Adds `v`; returns `true` if it was newly added. Duplicate adds
+    /// are ignored, which is what the push-based traversals rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn add(&mut self, v: VertexId) -> bool {
+        let slot = &mut self.dense[v as usize];
+        if *slot {
+            false
+        } else {
+            *slot = true;
+            self.members.push(v);
+            true
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.dense[v as usize]
+    }
+
+    /// The active vertices in insertion order.
+    pub fn members(&self) -> &[VertexId] {
+        &self.members
+    }
+
+    /// Removes every vertex, keeping capacity.
+    pub fn clear(&mut self) {
+        for &v in &self.members {
+            self.dense[v as usize] = false;
+        }
+        self.members.clear();
+    }
+
+    /// Sum of out-degrees of the active vertices — the quantity Ligra
+    /// compares against `E / 20` to pick push vs pull.
+    pub fn out_edge_sum(&self, graph: &Csr) -> u64 {
+        self.members
+            .iter()
+            .map(|&v| graph.out_degree(v) as u64)
+            .sum()
+    }
+
+    /// Ligra's direction heuristic: `true` means the next step should
+    /// use dense/pull traversal.
+    pub fn should_pull(&self, graph: &Csr) -> bool {
+        let threshold = (graph.num_edges() as u64) / 20;
+        self.len() as u64 + self.out_edge_sum(graph) > threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgr_graph::EdgeList;
+
+    #[test]
+    fn add_and_contains() {
+        let mut f = Frontier::empty(10);
+        assert!(f.is_empty());
+        assert!(f.add(3));
+        assert!(!f.add(3), "duplicate add ignored");
+        assert!(f.contains(3));
+        assert!(!f.contains(4));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_dense_bits() {
+        let mut f = Frontier::empty(8);
+        f.add(1);
+        f.add(5);
+        f.clear();
+        assert!(f.is_empty());
+        assert!(!f.contains(1) && !f.contains(5));
+        assert!(f.add(1), "re-add after clear works");
+    }
+
+    #[test]
+    fn full_and_single() {
+        let f = Frontier::full(4);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.members(), &[0, 1, 2, 3]);
+        let s = Frontier::single(4, 2);
+        assert_eq!(s.members(), &[2]);
+    }
+
+    #[test]
+    fn direction_heuristic() {
+        // Star: vertex 0 has out-degree 40; total E = 40.
+        let mut el = EdgeList::new(41);
+        for i in 1..=40 {
+            el.push(0, i);
+        }
+        let g = Csr::from_edge_list(&el);
+        let hub = Frontier::single(41, 0);
+        assert!(hub.should_pull(&g), "hub frontier covers all edges");
+        let leaf = Frontier::single(41, 1);
+        assert!(!leaf.should_pull(&g), "leaf frontier covers nothing");
+    }
+}

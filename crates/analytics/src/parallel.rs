@@ -1,0 +1,205 @@
+//! Shared-memory parallel application variants.
+//!
+//! The paper's evaluation runs Ligra with 40 OpenMP threads; the
+//! traced engine in [`crate::apps`] is sequential by design (the
+//! simulator needs a deterministic interleaving). This module provides
+//! genuinely parallel implementations of the two computation models —
+//! pull (PageRank) and push (SSSP) — built on `std::thread::scope`
+//! and atomics, for wall-clock experiments and as a cross-check that
+//! the sequential engine computes the same answers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use lgr_graph::{Csr, VertexId};
+
+use crate::apps::sssp::UNREACHABLE;
+use crate::apps::{PrConfig, SsspConfig};
+
+/// Splits `0..n` into `threads` contiguous chunks.
+fn chunks(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let t = threads.max(1);
+    let chunk = n.div_ceil(t).max(1);
+    (0..t)
+        .map(|i| (i * chunk).min(n)..((i + 1) * chunk).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Parallel pull-based PageRank. Equivalent to
+/// [`crate::apps::pagerank`] (pull iterations have no write sharing,
+/// so the parallel version is deterministic).
+///
+/// `threads` worker threads are used; pass the machine's core count.
+pub fn par_pagerank(graph: &Csr, cfg: &PrConfig, threads: usize) -> Vec<f64> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut prev = vec![1.0 / n as f64; n];
+    let mut curr = vec![0.0f64; n];
+    let base = (1.0 - cfg.damping) / n as f64;
+
+    for _ in 0..cfg.max_iters {
+        let dangling: f64 = (0..n as VertexId)
+            .filter(|&v| graph.out_degree(v) == 0)
+            .map(|v| prev[v as usize])
+            .sum();
+        let dangling_share = cfg.damping * dangling / n as f64;
+
+        // Each worker owns a disjoint slice of `curr`.
+        let prev_ref = &prev;
+        std::thread::scope(|scope| {
+            let mut rest: &mut [f64] = &mut curr;
+            let mut start = 0usize;
+            for range in chunks(n, threads) {
+                let (mine, tail) = rest.split_at_mut(range.len());
+                rest = tail;
+                let offset = start;
+                start += range.len();
+                scope.spawn(move || {
+                    for (i, out) in mine.iter_mut().enumerate() {
+                        let v = (offset + i) as VertexId;
+                        let mut sum = 0.0f64;
+                        for &u in graph.in_neighbors(v) {
+                            sum += prev_ref[u as usize]
+                                / graph.out_degree(u).max(1) as f64;
+                        }
+                        *out = base + dangling_share + cfg.damping * sum;
+                    }
+                });
+            }
+        });
+
+        let delta: f64 = curr
+            .iter()
+            .zip(prev.iter())
+            .map(|(c, p)| (c - p).abs())
+            .sum();
+        std::mem::swap(&mut prev, &mut curr);
+        if delta < cfg.tolerance {
+            break;
+        }
+    }
+    prev
+}
+
+/// Parallel push-based SSSP (Bellman–Ford) using atomic minimum
+/// relaxations. Produces exactly the shortest distances (relaxation
+/// order never affects the fixed point).
+///
+/// # Panics
+///
+/// Panics if the root is out of range for a non-empty graph.
+pub fn par_sssp(graph: &Csr, cfg: &SsspConfig, threads: usize) -> Vec<u64> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!((cfg.root as usize) < n, "root {} out of range", cfg.root);
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(UNREACHABLE)).collect();
+    dist[cfg.root as usize].store(0, Ordering::Relaxed);
+    let active: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    active[cfg.root as usize].store(true, Ordering::Relaxed);
+    let any_active = AtomicBool::new(true);
+
+    let mut rounds = 0usize;
+    while any_active.swap(false, Ordering::Relaxed) && rounds < cfg.max_rounds.min(n + 1) {
+        rounds += 1;
+        // Snapshot this round's frontier flags, then clear them so
+        // workers can set next-round flags concurrently.
+        let frontier: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| active[v as usize].swap(false, Ordering::Relaxed))
+            .collect();
+        if frontier.is_empty() {
+            break;
+        }
+        let frontier_ref = &frontier;
+        let dist_ref = &dist;
+        let active_ref = &active;
+        let any_ref = &any_active;
+        std::thread::scope(|scope| {
+            for range in chunks(frontier.len(), threads) {
+                scope.spawn(move || {
+                    for &u in &frontier_ref[range] {
+                        let du = dist_ref[u as usize].load(Ordering::Relaxed);
+                        let weights = graph.out_weights(u);
+                        for (i, &v) in graph.out_neighbors(u).iter().enumerate() {
+                            let w = weights.map_or(1, |ws| ws[i]) as u64;
+                            let nd = du.saturating_add(w);
+                            // Atomic min via fetch_min (Relaxed is fine:
+                            // the fixed point is order-independent).
+                            let old = dist_ref[v as usize].fetch_min(nd, Ordering::Relaxed);
+                            if nd < old {
+                                active_ref[v as usize].store(true, Ordering::Relaxed);
+                                any_ref.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    dist.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{pagerank, sssp};
+    use lgr_cachesim::NullTracer;
+    use lgr_graph::gen::{community, CommunityConfig};
+
+    fn weighted_graph() -> Csr {
+        let mut el = community(CommunityConfig::new(2000, 8.0).with_seed(13));
+        el.randomize_weights(32, 5);
+        Csr::from_edge_list(&el)
+    }
+
+    #[test]
+    fn par_pagerank_matches_sequential() {
+        let g = weighted_graph();
+        let cfg = PrConfig {
+            max_iters: 8,
+            tolerance: 0.0,
+            ..Default::default()
+        };
+        let seq = pagerank(&g, &cfg, &mut NullTracer);
+        for threads in [1, 2, 4, 8] {
+            let par = par_pagerank(&g, &cfg, threads);
+            for (a, b) in seq.ranks.iter().zip(par.iter()) {
+                assert!((a - b).abs() < 1e-12, "{threads} threads: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_sssp_matches_sequential() {
+        let g = weighted_graph();
+        let cfg = SsspConfig::from_root(3);
+        let seq = sssp(&g, &cfg, &mut NullTracer);
+        for threads in [1, 3, 8] {
+            let par = par_sssp(&g, &cfg, threads);
+            assert_eq!(par, seq.distances, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_sssp_empty_and_single() {
+        let g = Csr::from_edge_list(&lgr_graph::EdgeList::new(0));
+        assert!(par_sssp(&g, &SsspConfig::from_root(0), 4).is_empty());
+        let mut el = lgr_graph::EdgeList::new(1);
+        let _ = &mut el;
+        let g1 = Csr::from_edge_list(&el);
+        assert_eq!(par_sssp(&g1, &SsspConfig::from_root(0), 4), vec![0]);
+    }
+
+    #[test]
+    fn chunks_cover_range() {
+        for (n, t) in [(10usize, 3usize), (1, 8), (0, 4), (100, 7)] {
+            let cs = chunks(n, t);
+            let total: usize = cs.iter().map(|r| r.len()).sum();
+            assert_eq!(total, n, "n={n} t={t}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Work partitioning across simulated cores.
+//!
+//! The paper runs Ligra with chunked OpenMP scheduling: each thread
+//! owns contiguous vertex ranges. The traced engine reproduces that
+//! partitioning so the simulator sees realistic per-core access
+//! streams, and *interleaves* small batches from each core's range in
+//! round-robin order to approximate concurrent execution (which is
+//! what creates the coherence traffic of Fig. 9).
+
+/// Assigns contiguous vertex slices to cores and yields interleaved
+/// `(core, start..end)` batches.
+#[derive(Debug, Clone, Copy)]
+pub struct Schedule {
+    num_vertices: usize,
+    cores: usize,
+    batch: usize,
+}
+
+impl Schedule {
+    /// A schedule over `num_vertices` for `cores` cores with the
+    /// default batch of 64 vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is 0.
+    pub fn new(num_vertices: usize, cores: usize) -> Self {
+        assert!(cores >= 1);
+        Schedule {
+            num_vertices,
+            cores,
+            batch: 64,
+        }
+    }
+
+    /// Overrides the interleave batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is 0.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch >= 1);
+        self.batch = batch;
+        self
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The core that owns vertex `v` under chunked partitioning.
+    #[inline]
+    pub fn owner(&self, v: usize) -> usize {
+        if self.num_vertices == 0 {
+            return 0;
+        }
+        let chunk = self.num_vertices.div_ceil(self.cores);
+        (v / chunk).min(self.cores - 1)
+    }
+
+    /// Contiguous slice owned by `core`.
+    pub fn slice(&self, core: usize) -> std::ops::Range<usize> {
+        let chunk = self.num_vertices.div_ceil(self.cores);
+        let start = (core * chunk).min(self.num_vertices);
+        let end = ((core + 1) * chunk).min(self.num_vertices);
+        start..end
+    }
+
+    /// Yields `(core, vertex_range)` batches, round-robin across cores,
+    /// covering every vertex exactly once. This is the order the traced
+    /// engine visits vertices in, approximating parallel progress.
+    pub fn interleaved(&self) -> InterleavedBatches {
+        InterleavedBatches {
+            schedule: *self,
+            cursors: (0..self.cores).map(|c| self.slice(c).start).collect(),
+            next_core: 0,
+            remaining: self.num_vertices,
+        }
+    }
+}
+
+/// Iterator over interleaved `(core, range)` batches. See
+/// [`Schedule::interleaved`].
+#[derive(Debug, Clone)]
+pub struct InterleavedBatches {
+    schedule: Schedule,
+    cursors: Vec<usize>,
+    next_core: usize,
+    remaining: usize,
+}
+
+impl Iterator for InterleavedBatches {
+    type Item = (usize, std::ops::Range<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        // Find the next core with work left (at most `cores` probes).
+        for _ in 0..self.schedule.cores {
+            let c = self.next_core;
+            self.next_core = (self.next_core + 1) % self.schedule.cores;
+            let end_of_slice = self.schedule.slice(c).end;
+            let cur = self.cursors[c];
+            if cur < end_of_slice {
+                let end = (cur + self.schedule.batch).min(end_of_slice);
+                self.cursors[c] = end;
+                self.remaining -= end - cur;
+                return Some((c, cur..end));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_everything_once() {
+        let s = Schedule::new(1000, 7).with_batch(13);
+        let mut seen = vec![false; 1000];
+        for (_, range) in s.interleaved() {
+            for v in range {
+                assert!(!seen[v], "vertex {v} visited twice");
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn owner_matches_slices() {
+        let s = Schedule::new(100, 4);
+        for c in 0..4 {
+            for v in s.slice(c) {
+                assert_eq!(s.owner(v), c);
+            }
+        }
+    }
+
+    #[test]
+    fn interleaves_across_cores() {
+        let s = Schedule::new(256, 4).with_batch(16);
+        let order: Vec<usize> = s.interleaved().map(|(c, _)| c).collect();
+        // First four batches come from four different cores.
+        assert_eq!(&order[..4], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert_eq!(Schedule::new(0, 4).interleaved().count(), 0);
+        let s = Schedule::new(3, 8);
+        let total: usize = s.interleaved().map(|(_, r)| r.len()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn single_core_is_sequential() {
+        let s = Schedule::new(10, 1).with_batch(4);
+        let batches: Vec<_> = s.interleaved().collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0], (0, 0..4));
+        assert_eq!(batches[2], (0, 8..10));
+    }
+}

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks: cache-simulator throughput
+//! (accesses per second under different locality patterns).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use lgr_cachesim::layout::MemoryLayout;
+use lgr_cachesim::{AccessPattern, MemorySim, SimConfig};
+
+const N: usize = 1 << 16;
+const ACCESSES: u64 = 100_000;
+
+fn fresh_sim() -> (MemorySim, lgr_cachesim::ArrayId) {
+    let mut layout = MemoryLayout::new();
+    let a = layout.register("a", N, 8, AccessPattern::Irregular);
+    (MemorySim::new(SimConfig::default(), layout), a)
+}
+
+fn bench_cachesim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cachesim");
+    group.throughput(Throughput::Elements(ACCESSES));
+    group.sample_size(10);
+
+    group.bench_function("sequential_reads", |b| {
+        b.iter(|| {
+            let (mut sim, a) = fresh_sim();
+            for i in 0..ACCESSES {
+                sim.read(0, a, (i as usize) % N);
+            }
+            sim.stats().l1.misses
+        });
+    });
+
+    group.bench_function("strided_reads", |b| {
+        b.iter(|| {
+            let (mut sim, a) = fresh_sim();
+            for i in 0..ACCESSES {
+                sim.read(0, a, (i as usize * 8) % N);
+            }
+            sim.stats().l1.misses
+        });
+    });
+
+    group.bench_function("scattered_reads", |b| {
+        b.iter(|| {
+            let (mut sim, a) = fresh_sim();
+            let mut x = 12345usize;
+            for _ in 0..ACCESSES {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                sim.read(0, a, x % N);
+            }
+            sim.stats().l1.misses
+        });
+    });
+
+    group.bench_function("write_sharing_two_cores", |b| {
+        b.iter(|| {
+            let (mut sim, a) = fresh_sim();
+            for i in 0..ACCESSES {
+                sim.write((i % 2) as usize, a, (i as usize / 2) % 64);
+            }
+            sim.stats().l2_breakdown.snoops_local
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cachesim);
+criterion_main!(benches);

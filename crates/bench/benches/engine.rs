@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks: analytics engine throughput per
+//! application (untraced, host speed), original vs DBG ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lgr_analytics::apps::{
+    bc, pagerank, pagerank_delta, radii, sssp, BcConfig, PrConfig, PrdConfig, RadiiConfig,
+    SsspConfig,
+};
+use lgr_cachesim::NullTracer;
+use lgr_core::{Dbg, ReorderingTechnique};
+use lgr_graph::datasets::{build, DatasetId, DatasetScale};
+use lgr_graph::{Csr, DegreeKind};
+
+fn graphs() -> Vec<(&'static str, Csr)> {
+    let scale = DatasetScale::with_sd_vertices(1 << 14);
+    let mut el = build(DatasetId::Sd, scale);
+    el.randomize_weights(64, 1);
+    let original = Csr::from_edge_list(&el);
+    let perm = Dbg::default().reorder(&original, DegreeKind::Out);
+    let reordered = original.apply_permutation(&perm);
+    vec![("original", original), ("dbg", reordered)]
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let gs = graphs();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for (ordering, g) in &gs {
+        group.bench_with_input(BenchmarkId::new("pagerank_3iter", ordering), g, |b, g| {
+            let cfg = PrConfig {
+                max_iters: 3,
+                tolerance: 0.0,
+                ..Default::default()
+            };
+            b.iter(|| pagerank(g, &cfg, &mut NullTracer));
+        });
+        group.bench_with_input(BenchmarkId::new("prd_5iter", ordering), g, |b, g| {
+            let cfg = PrdConfig {
+                max_iters: 5,
+                ..Default::default()
+            };
+            b.iter(|| pagerank_delta(g, &cfg, &mut NullTracer));
+        });
+        group.bench_with_input(BenchmarkId::new("sssp", ordering), g, |b, g| {
+            b.iter(|| sssp(g, &SsspConfig::from_root(1), &mut NullTracer));
+        });
+        group.bench_with_input(BenchmarkId::new("bc", ordering), g, |b, g| {
+            b.iter(|| bc(g, &BcConfig::from_root(1), &mut NullTracer));
+        });
+        group.bench_with_input(BenchmarkId::new("radii", ordering), g, |b, g| {
+            let cfg = RadiiConfig {
+                max_rounds: 64,
+                ..Default::default()
+            };
+            b.iter(|| radii(g, &cfg, &mut NullTracer));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks: reordering throughput per technique.
+//!
+//! Complements Table XI: absolute per-technique reordering cost on a
+//! mid-size skewed dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lgr_core::{
+    Dbg, Gorder, HubCluster, HubSort, RandomVertex, ReorderingTechnique, Sort,
+};
+use lgr_graph::datasets::{build, DatasetId, DatasetScale};
+use lgr_graph::{Csr, DegreeKind};
+
+fn bench_reorder(c: &mut Criterion) {
+    let scale = DatasetScale::with_sd_vertices(1 << 14);
+    let el = build(DatasetId::Sd, scale);
+    let graph = Csr::from_edge_list(&el);
+
+    let mut group = c.benchmark_group("reorder");
+    group.sample_size(10);
+    let techniques: Vec<(&str, Box<dyn ReorderingTechnique>)> = vec![
+        ("sort", Box::new(Sort::new())),
+        ("hubsort", Box::new(HubSort::new())),
+        ("hubcluster", Box::new(HubCluster::new())),
+        ("dbg", Box::new(Dbg::default())),
+        ("random_vertex", Box::new(RandomVertex::new(7))),
+    ];
+    for (name, tech) in &techniques {
+        group.bench_with_input(BenchmarkId::new("technique", name), tech, |b, tech| {
+            b.iter(|| tech.reorder(&graph, DegreeKind::Out));
+        });
+    }
+    group.finish();
+
+    // Gorder is orders of magnitude slower; bench it on a smaller graph
+    // so the suite stays tractable (the gap is the point).
+    let small = Csr::from_edge_list(&build(
+        DatasetId::Sd,
+        DatasetScale::with_sd_vertices(1 << 11),
+    ));
+    let mut slow = c.benchmark_group("reorder_heavyweight");
+    slow.sample_size(10);
+    slow.bench_function("gorder_2k_vertices", |b| {
+        b.iter(|| Gorder::new().reorder(&small, DegreeKind::Out));
+    });
+    slow.bench_function("dbg_2k_vertices", |b| {
+        b.iter(|| Dbg::default().reorder(&small, DegreeKind::Out));
+    });
+    slow.finish();
+}
+
+criterion_group!(benches, bench_reorder);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! `repro` — regenerates the tables and figures of *A Closer Look at
+//! Lightweight Graph Reordering* (IISWC'19) on synthetic dataset
+//! analogues and a simulated memory hierarchy.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [OPTIONS] <experiment>... | all | list
+//!
+//! Options:
+//!   --quick        tiny graphs (CI smoke test)
+//!   --scale <exp>  sd dataset gets 2^exp vertices (default 17)
+//!   --roots <n>    roots per root-dependent app run (default 2)
+//!   --verbose      progress logging to stderr
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use lgr_bench::experiments::{self, Experiment};
+use lgr_bench::{Harness, HarnessConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = HarnessConfig::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => cfg = HarnessConfig::quick(),
+            "--verbose" | "-v" => cfg.verbose = true,
+            "--scale" => match iter.next().and_then(|s| s.parse::<u32>().ok()) {
+                Some(exp) if (8..=24).contains(&exp) => cfg = cfg.with_scale_exp(exp),
+                _ => return usage("--scale needs an exponent in 8..=24"),
+            },
+            "--roots" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.roots = n,
+                _ => return usage("--roots needs a positive integer"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown option {other}"))
+            }
+            other => names.push(other.to_owned()),
+        }
+    }
+
+    if names.iter().any(|n| n == "list") {
+        for e in experiments::ALL {
+            println!("{:<8} {}", e.name, e.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<&'static Experiment> = if names.is_empty() || names.iter().any(|n| n == "all")
+    {
+        experiments::ALL.iter().collect()
+    } else {
+        let mut v = Vec::new();
+        for n in &names {
+            match experiments::by_name(n) {
+                Some(e) => v.push(e),
+                None => return usage(&format!("unknown experiment {n}")),
+            }
+        }
+        v
+    };
+
+    let harness = Harness::new(cfg);
+    println!(
+        "# graph-reorder reproduction | sd = {} vertices | {} cores / {} sockets | {} root(s)\n",
+        cfg.scale.sd_vertices, cfg.sim.cores, cfg.sim.sockets, cfg.roots
+    );
+    for e in selected {
+        let start = Instant::now();
+        let report = (e.run)(&harness);
+        println!("{report}");
+        eprintln!("[repro] {} done in {:.1}s", e.name, start.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: repro [--quick] [--scale <exp>] [--roots <n>] [--verbose] <experiment>... | all | list"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

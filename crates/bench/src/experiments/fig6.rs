@@ -1,0 +1,81 @@
+//! Fig. 6: the main result — application speedup excluding reordering
+//! time, five apps x eight datasets x five techniques.
+
+use lgr_analytics::apps::AppId;
+use lgr_core::TechniqueId;
+use lgr_graph::datasets::DatasetId;
+
+use crate::table::geomean;
+use crate::{Harness, TextTable};
+
+/// Regenerates Fig. 6 (a: unstructured, b: structured), plus the
+/// paper's headline averages.
+pub fn run(h: &Harness) -> String {
+    let mut out = String::new();
+    out.push_str(&panel(
+        h,
+        "Fig. 6a: speedup (%) excluding reordering time — unstructured datasets",
+        &DatasetId::UNSTRUCTURED,
+    ));
+    out.push('\n');
+    out.push_str(&panel(
+        h,
+        "Fig. 6b: speedup (%) excluding reordering time — structured datasets",
+        &DatasetId::STRUCTURED,
+    ));
+    out.push('\n');
+    out.push_str(&summary(h));
+    out
+}
+
+fn panel(h: &Harness, title: &str, datasets: &[DatasetId]) -> String {
+    let mut header = vec!["app", "dataset"];
+    header.extend(TechniqueId::MAIN_EVAL.iter().map(|t| t.name()));
+    let mut t = TextTable::new(title, header);
+    for app in AppId::ALL {
+        for &ds in datasets {
+            let mut row = vec![app.name().to_owned(), ds.name().to_owned()];
+            for tech in TechniqueId::MAIN_EVAL {
+                let s = h.speedup(app, ds, tech);
+                row.push(format!("{:+.1}", (s - 1.0) * 100.0));
+            }
+            t.row(row);
+        }
+    }
+    // Per-technique geomean over this panel.
+    let mut gm = vec!["GMean".to_owned(), String::new()];
+    for tech in TechniqueId::MAIN_EVAL {
+        let ratios: Vec<f64> = AppId::ALL
+            .iter()
+            .flat_map(|&app| datasets.iter().map(move |&ds| h.speedup(app, ds, tech)))
+            .collect();
+        gm.push(format!("{:+.1}", (geomean(&ratios) - 1.0) * 100.0));
+    }
+    t.row(gm);
+    t.to_string()
+}
+
+fn summary(h: &Harness) -> String {
+    let mut t = TextTable::new(
+        "Fig. 6 summary: geometric-mean speedup (%) across all 40 datapoints",
+        vec!["technique", "all", "unstructured", "structured"],
+    );
+    for tech in TechniqueId::MAIN_EVAL {
+        let collect = |dss: &[DatasetId]| -> f64 {
+            let ratios: Vec<f64> = AppId::ALL
+                .iter()
+                .flat_map(|&app| dss.iter().map(move |&ds| h.speedup(app, ds, tech)))
+                .collect();
+            (geomean(&ratios) - 1.0) * 100.0
+        };
+        t.row(vec![
+            tech.name().to_owned(),
+            format!("{:+.1}", collect(&DatasetId::SKEWED)),
+            format!("{:+.1}", collect(&DatasetId::UNSTRUCTURED)),
+            format!("{:+.1}", collect(&DatasetId::STRUCTURED)),
+        ]);
+    }
+    t.note("paper: DBG +16.8% overall vs Sort +8.4%, HubSort +7.9%, HubCluster +11.6%, Gorder +18.6%");
+    t.note("paper: on structured datasets Sort/HubSort go NEGATIVE while DBG stays positive");
+    t.to_string()
+}

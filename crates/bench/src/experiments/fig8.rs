@@ -1,0 +1,50 @@
+//! Fig. 8: L1/L2/L3 MPKI for PageRank across datasets and orderings.
+
+use lgr_analytics::apps::AppId;
+use lgr_core::TechniqueId;
+use lgr_graph::datasets::DatasetId;
+
+use crate::{Harness, TextTable};
+
+const ORDERINGS: [Option<TechniqueId>; 6] = [
+    None,
+    Some(TechniqueId::Sort),
+    Some(TechniqueId::HubSort),
+    Some(TechniqueId::HubCluster),
+    Some(TechniqueId::Dbg),
+    Some(TechniqueId::Gorder),
+];
+
+/// Regenerates Fig. 8 (three panels: L1, L2, L3 MPKI).
+pub fn run(h: &Harness) -> String {
+    let mut out = String::new();
+    for (level, title) in [
+        (0usize, "Fig. 8a: L1 MPKI for PR"),
+        (1, "Fig. 8b: L2 MPKI for PR"),
+        (2, "Fig. 8c: L3 MPKI for PR"),
+    ] {
+        let mut header = vec!["dataset"];
+        header.extend(
+            ORDERINGS
+                .iter()
+                .map(|o| o.map_or("Original", TechniqueId::name)),
+        );
+        let mut t = TextTable::new(title, header);
+        for ds in DatasetId::SKEWED {
+            let mut row = vec![ds.name().to_owned()];
+            for &ord in &ORDERINGS {
+                let stats = h.run(AppId::Pr, ds, ord).stats;
+                row.push(format!("{:.1}", stats.mpki()[level]));
+            }
+            t.row(row);
+        }
+        match level {
+            0 => t.note("paper: fine-grain techniques (Sort/HubSort) RAISE L1 MPKI on structured datasets (lj/wl/fr/mp)"),
+            1 => t.note("paper: L2 MPKI tracks L1 (almost everything missing L1 misses L2 too)"),
+            _ => t.note("paper: ALL skew-aware techniques cut L3 MPKI; small datasets (lj/wl) have little headroom"),
+        }
+        out.push_str(&t.to_string());
+        out.push('\n');
+    }
+    out
+}

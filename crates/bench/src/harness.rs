@@ -1,0 +1,491 @@
+//! Shared machinery: dataset/permutation/run caching and the paper's
+//! measurement methodology.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use lgr_analytics::apps::bc::{bc_with_arrays, BcArrays};
+use lgr_analytics::apps::pagerank::{pagerank_with_arrays, PrArrays};
+use lgr_analytics::apps::pagerank_delta::{pagerank_delta_with_arrays, PrdArrays};
+use lgr_analytics::apps::radii::{radii_with_arrays, RadiiArrays};
+use lgr_analytics::apps::sssp::{sssp_with_arrays, SsspArrays};
+use lgr_analytics::apps::{AppId, BcConfig, PrConfig, PrdConfig, RadiiConfig, SsspConfig};
+use lgr_cachesim::{MemoryLayout, MemorySim, NullTracer, SimConfig, SimStats};
+use lgr_core::{
+    Dbg, Gorder, HubCluster, HubClusterOriginal, HubSort, HubSortOriginal, Identity,
+    RandomCacheBlock, RandomVertex, ReorderingTechnique, Sort, TechniqueId, TimedReorder,
+};
+use lgr_graph::datasets::{self, DatasetId, DatasetScale};
+use lgr_graph::{Csr, DegreeKind, VertexId};
+
+/// Harness-wide knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Dataset scale (vertex count of `sd`; others keep Table IX
+    /// ratios).
+    pub scale: DatasetScale,
+    /// Simulated machine.
+    pub sim: SimConfig,
+    /// Roots aggregated per root-dependent app run (the paper uses 8).
+    pub roots: usize,
+    /// Fixed PageRank iterations per traced run.
+    pub pr_iters: usize,
+    /// PageRank-Delta iteration cap.
+    pub prd_iters: usize,
+    /// Radii round cap.
+    pub radii_rounds: usize,
+    /// Print progress lines to stderr.
+    pub verbose: bool,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            scale: DatasetScale::with_sd_vertices(1 << 17),
+            sim: SimConfig::default(),
+            roots: 2,
+            pr_iters: 3,
+            prd_iters: 5,
+            radii_rounds: 1024,
+            verbose: false,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// A tiny configuration for smoke tests and CI.
+    pub fn quick() -> Self {
+        HarnessConfig {
+            scale: DatasetScale::with_sd_vertices(1 << 13),
+            roots: 1,
+            pr_iters: 2,
+            prd_iters: 3,
+            radii_rounds: 256,
+            ..Default::default()
+        }
+    }
+
+    /// Overrides the scale exponent: `sd` gets `2^exp` vertices.
+    pub fn with_scale_exp(mut self, exp: u32) -> Self {
+        self.scale = DatasetScale::with_sd_vertices(1usize << exp);
+        self
+    }
+}
+
+/// One traced run's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Simulator statistics (MPKI, breakdowns, cycles).
+    pub stats: SimStats,
+}
+
+impl RunStats {
+    /// Estimated execution cycles.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+}
+
+type ReorderKey = (DatasetId, TechniqueId, DegreeKind);
+type RunKey = (AppId, DatasetId, Option<TechniqueId>);
+
+/// Caching driver shared by every experiment.
+pub struct Harness {
+    cfg: HarnessConfig,
+    graphs: RefCell<HashMap<DatasetId, Rc<Csr>>>,
+    reorders: RefCell<HashMap<ReorderKey, Rc<TimedReorder>>>,
+    runs: RefCell<HashMap<RunKey, Rc<RunStats>>>,
+    walls: RefCell<HashMap<RunKey, Duration>>,
+}
+
+impl std::fmt::Debug for Harness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Harness").field("cfg", &self.cfg).finish()
+    }
+}
+
+impl Harness {
+    /// A harness with the given configuration.
+    pub fn new(cfg: HarnessConfig) -> Self {
+        Harness {
+            cfg,
+            graphs: RefCell::new(HashMap::new()),
+            reorders: RefCell::new(HashMap::new()),
+            runs: RefCell::new(HashMap::new()),
+            walls: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HarnessConfig {
+        &self.cfg
+    }
+
+    fn log(&self, msg: &str) {
+        if self.cfg.verbose {
+            eprintln!("[repro] {msg}");
+        }
+    }
+
+    /// The dataset's graph in its original ordering. Weights are
+    /// always attached (SSSP uses them; other apps ignore them).
+    pub fn graph(&self, ds: DatasetId) -> Rc<Csr> {
+        if let Some(g) = self.graphs.borrow().get(&ds) {
+            return Rc::clone(g);
+        }
+        self.log(&format!("building dataset {}", ds.name()));
+        let mut el = datasets::build(ds, self.cfg.scale);
+        el.randomize_weights(64, 0xC0FFEE ^ ds as u64);
+        let g = Rc::new(Csr::from_edge_list(&el));
+        self.graphs.borrow_mut().insert(ds, Rc::clone(&g));
+        g
+    }
+
+    /// Instantiates a technique by ID.
+    pub fn technique(&self, id: TechniqueId) -> Box<dyn ReorderingTechnique> {
+        match id {
+            TechniqueId::Original => Box::new(Identity),
+            TechniqueId::Sort => Box::new(Sort::new()),
+            TechniqueId::HubSort => Box::new(HubSort::new()),
+            TechniqueId::HubCluster => Box::new(HubCluster::new()),
+            TechniqueId::Dbg => Box::new(Dbg::default()),
+            TechniqueId::Gorder => Box::new(Gorder::new()),
+            TechniqueId::GorderDbg => Box::new(lgr_core::gorder_dbg()),
+            TechniqueId::HubSortO => Box::new(HubSortOriginal::new()),
+            TechniqueId::HubClusterO => Box::new(HubClusterOriginal::new()),
+            TechniqueId::RandomVertex => Box::new(RandomVertex::new(0xDECAF)),
+            TechniqueId::RandomCacheBlock(n) => {
+                Box::new(RandomCacheBlock::new(n as usize, 0xDECAF))
+            }
+        }
+    }
+
+    /// Degree-kind canonicalization: techniques that ignore the degree
+    /// kind share one cached permutation.
+    fn canonical_kind(id: TechniqueId, kind: DegreeKind) -> DegreeKind {
+        match id {
+            TechniqueId::Gorder
+            | TechniqueId::HubSortO
+            | TechniqueId::HubClusterO
+            | TechniqueId::RandomVertex
+            | TechniqueId::RandomCacheBlock(_)
+            | TechniqueId::Original => DegreeKind::Out,
+            _ => kind,
+        }
+    }
+
+    /// The (timed) permutation for `tech` on `ds` using `kind`
+    /// degrees, cached.
+    pub fn reorder(&self, ds: DatasetId, tech: TechniqueId, kind: DegreeKind) -> Rc<TimedReorder> {
+        let key = (ds, tech, Self::canonical_kind(tech, kind));
+        if let Some(r) = self.reorders.borrow().get(&key) {
+            return Rc::clone(r);
+        }
+        let graph = self.graph(ds);
+        self.log(&format!("reordering {} with {}", ds.name(), tech.name()));
+        let t = self.technique(tech);
+        let timed = Rc::new(TimedReorder::run(t.as_ref(), &graph, key.2));
+        self.reorders.borrow_mut().insert(key, Rc::clone(&timed));
+        timed
+    }
+
+    /// Deterministic roots on the ORIGINAL graph: vertices with both
+    /// in- and out-edges, evenly spaced through the ID range.
+    pub fn roots(&self, ds: DatasetId, count: usize) -> Vec<VertexId> {
+        let g = self.graph(ds);
+        let candidates: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+            .filter(|&v| g.out_degree(v) > 0 && g.in_degree(v) > 0)
+            .collect();
+        if candidates.is_empty() {
+            return vec![0];
+        }
+        let k = count.max(1);
+        (0..k)
+            .map(|i| {
+                let idx = (i * candidates.len() / k + candidates.len() / (2 * k))
+                    .min(candidates.len() - 1);
+                candidates[idx]
+            })
+            .collect()
+    }
+
+    /// Traced run of `app` on `ds` under `tech` (`None` = original
+    /// ordering), cached. Root-dependent apps aggregate
+    /// `cfg.roots` traversals into one simulation, mirroring the
+    /// paper's methodology.
+    pub fn run(&self, app: AppId, ds: DatasetId, tech: Option<TechniqueId>) -> Rc<RunStats> {
+        let key = (app, ds, tech);
+        if let Some(r) = self.runs.borrow().get(&key) {
+            return Rc::clone(r);
+        }
+        self.log(&format!(
+            "tracing {} on {} / {}",
+            app.name(),
+            ds.name(),
+            tech.map_or("Original", TechniqueId::name)
+        ));
+        let base = self.graph(ds);
+        let (graph, roots) = self.prepared(app, ds, tech, &base);
+        let stats = self.run_traced(app, &graph, &roots);
+        let r = Rc::new(RunStats { stats });
+        self.runs.borrow_mut().insert(key, Rc::clone(&r));
+        r
+    }
+
+    /// Untraced wall-clock run (same work as [`Harness::run`]), cached.
+    pub fn wall(&self, app: AppId, ds: DatasetId, tech: Option<TechniqueId>) -> Duration {
+        let key = (app, ds, tech);
+        if let Some(d) = self.walls.borrow().get(&key) {
+            return *d;
+        }
+        let base = self.graph(ds);
+        let (graph, roots) = self.prepared(app, ds, tech, &base);
+        let start = Instant::now();
+        self.run_untraced(app, &graph, &roots);
+        let elapsed = start.elapsed();
+        self.walls.borrow_mut().insert(key, elapsed);
+        elapsed
+    }
+
+    /// Builds the (possibly reordered) graph and maps roots through the
+    /// permutation.
+    fn prepared(
+        &self,
+        app: AppId,
+        ds: DatasetId,
+        tech: Option<TechniqueId>,
+        base: &Rc<Csr>,
+    ) -> (Rc<Csr>, Vec<VertexId>) {
+        // Radii needs its 64 BFS sources fixed in *logical* vertex
+        // terms so every ordering computes the same problem.
+        let count = if app == AppId::Radii { 64 } else { self.cfg.roots };
+        let roots = self.roots(ds, count);
+        match tech {
+            None => (Rc::clone(base), roots),
+            Some(t) => {
+                let timed = self.reorder(ds, t, app.reorder_degree());
+                let g = Rc::new(base.apply_permutation(&timed.permutation));
+                let mapped = roots
+                    .iter()
+                    .map(|&r| timed.permutation.new_id(r))
+                    .collect();
+                (g, mapped)
+            }
+        }
+    }
+
+    fn pr_config(&self) -> PrConfig {
+        PrConfig {
+            max_iters: self.cfg.pr_iters,
+            tolerance: 0.0,
+            cores: self.cfg.sim.cores,
+            ..Default::default()
+        }
+    }
+
+    fn prd_config(&self) -> PrdConfig {
+        PrdConfig {
+            max_iters: self.cfg.prd_iters,
+            cores: self.cfg.sim.cores,
+            ..Default::default()
+        }
+    }
+
+    fn radii_config(&self, sources: &[VertexId]) -> RadiiConfig {
+        RadiiConfig {
+            max_rounds: self.cfg.radii_rounds,
+            cores: self.cfg.sim.cores,
+            ..Default::default()
+        }
+        .with_sources(sources.to_vec())
+    }
+
+    /// Runs `app` on the simulator, registering its arrays first.
+    fn run_traced(&self, app: AppId, graph: &Csr, roots: &[VertexId]) -> SimStats {
+        let cores = self.cfg.sim.cores;
+        let mut layout = MemoryLayout::new();
+        match app {
+            AppId::Pr => {
+                let arrays = PrArrays::register(&mut layout, graph);
+                let mut sim = MemorySim::new(self.cfg.sim, layout);
+                pagerank_with_arrays(graph, &self.pr_config(), &arrays, &mut sim);
+                *sim.stats()
+            }
+            AppId::Prd => {
+                let arrays = PrdArrays::register(&mut layout, graph);
+                let mut sim = MemorySim::new(self.cfg.sim, layout);
+                pagerank_delta_with_arrays(graph, &self.prd_config(), &arrays, &mut sim);
+                *sim.stats()
+            }
+            AppId::Sssp => {
+                let arrays = SsspArrays::register(&mut layout, graph);
+                let mut sim = MemorySim::new(self.cfg.sim, layout);
+                for &r in roots {
+                    let cfg = SsspConfig { cores, ..SsspConfig::from_root(r) };
+                    sssp_with_arrays(graph, &cfg, &arrays, &mut sim);
+                }
+                *sim.stats()
+            }
+            AppId::Bc => {
+                let arrays = BcArrays::register(&mut layout, graph);
+                let mut sim = MemorySim::new(self.cfg.sim, layout);
+                for &r in roots {
+                    let cfg = BcConfig { root: r, cores };
+                    bc_with_arrays(graph, &cfg, &arrays, &mut sim);
+                }
+                *sim.stats()
+            }
+            AppId::Radii => {
+                let arrays = RadiiArrays::register(&mut layout, graph);
+                let mut sim = MemorySim::new(self.cfg.sim, layout);
+                radii_with_arrays(graph, &self.radii_config(roots), &arrays, &mut sim);
+                *sim.stats()
+            }
+        }
+    }
+
+    /// Runs `app` with the null tracer (host-speed execution).
+    fn run_untraced(&self, app: AppId, graph: &Csr, roots: &[VertexId]) {
+        let cores = self.cfg.sim.cores;
+        let mut t = NullTracer;
+        match app {
+            AppId::Pr => {
+                lgr_analytics::apps::pagerank(graph, &self.pr_config(), &mut t);
+            }
+            AppId::Prd => {
+                lgr_analytics::apps::pagerank_delta(graph, &self.prd_config(), &mut t);
+            }
+            AppId::Sssp => {
+                for &r in roots {
+                    let cfg = SsspConfig { cores, ..SsspConfig::from_root(r) };
+                    lgr_analytics::apps::sssp(graph, &cfg, &mut t);
+                }
+            }
+            AppId::Bc => {
+                for &r in roots {
+                    let cfg = BcConfig { root: r, cores };
+                    lgr_analytics::apps::bc(graph, &cfg, &mut t);
+                }
+            }
+            AppId::Radii => {
+                lgr_analytics::apps::radii(graph, &self.radii_config(roots), &mut t);
+            }
+        }
+    }
+
+    /// Traced PageRank cycles on an arbitrary (already reordered)
+    /// graph — used by ablations that sweep technique parameters
+    /// outside the [`TechniqueId`] registry.
+    pub fn simulate_pr(&self, graph: &Csr) -> u64 {
+        self.run_traced(AppId::Pr, graph, &[]).cycles
+    }
+
+    /// Speedup factor of `tech` over the original ordering for
+    /// `app` x `ds`, excluding reordering time (Fig. 6's metric).
+    pub fn speedup(&self, app: AppId, ds: DatasetId, tech: TechniqueId) -> f64 {
+        let base = self.run(app, ds, None).cycles() as f64;
+        let with = self.run(app, ds, Some(tech)).cycles() as f64;
+        base / with.max(1.0)
+    }
+
+    /// Converts a wall-clock duration into simulated cycles using the
+    /// dataset's PageRank calibration: the same PR work is both
+    /// simulated (cycles) and executed on the host (seconds); their
+    /// ratio is the exchange rate. This lets measured reordering times
+    /// be charged against simulated application cycles (Figs. 10–11,
+    /// Table XII).
+    pub fn wall_to_cycles(&self, ds: DatasetId, wall: Duration) -> u64 {
+        let sim_cycles = self.run(AppId::Pr, ds, None).cycles() as f64;
+        let host_secs = self.wall(AppId::Pr, ds, None).as_secs_f64().max(1e-9);
+        let rate = sim_cycles / host_secs;
+        (wall.as_secs_f64() * rate) as u64
+    }
+
+    /// Net speedup including reordering time, amortized over
+    /// `traversals` repetitions of the app run (Figs. 10–11):
+    /// `base * T / (reorder + with * T)`.
+    pub fn net_speedup(
+        &self,
+        app: AppId,
+        ds: DatasetId,
+        tech: TechniqueId,
+        traversals: u64,
+    ) -> f64 {
+        let base = self.run(app, ds, None).cycles() as f64;
+        let with = self.run(app, ds, Some(tech)).cycles() as f64;
+        let reorder = self.reorder(ds, tech, app.reorder_degree());
+        let reorder_cycles = self.wall_to_cycles(ds, reorder.elapsed) as f64;
+        (base * traversals as f64) / (reorder_cycles + with * traversals as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Harness {
+        let mut cfg = HarnessConfig::quick();
+        cfg.scale = DatasetScale::with_sd_vertices(1 << 10);
+        Harness::new(cfg)
+    }
+
+    #[test]
+    fn graph_is_cached() {
+        let h = tiny();
+        let a = h.graph(DatasetId::Lj);
+        let b = h.graph(DatasetId::Lj);
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn reorder_is_cached_and_canonicalized() {
+        let h = tiny();
+        let a = h.reorder(DatasetId::Lj, TechniqueId::RandomVertex, DegreeKind::In);
+        let b = h.reorder(DatasetId::Lj, TechniqueId::RandomVertex, DegreeKind::Out);
+        assert!(Rc::ptr_eq(&a, &b), "RV ignores degree kind");
+        let c = h.reorder(DatasetId::Lj, TechniqueId::Dbg, DegreeKind::In);
+        let d = h.reorder(DatasetId::Lj, TechniqueId::Dbg, DegreeKind::Out);
+        assert!(!Rc::ptr_eq(&c, &d), "DBG is degree-kind sensitive");
+    }
+
+    #[test]
+    fn traced_run_produces_stats() {
+        let h = tiny();
+        let r = h.run(AppId::Pr, DatasetId::Lj, None);
+        assert!(r.stats.instructions > 0);
+        assert!(r.stats.l1.accesses > 0);
+        assert!(r.cycles() > 0);
+    }
+
+    #[test]
+    fn speedup_is_computable_for_all_apps() {
+        let h = tiny();
+        for app in AppId::ALL {
+            let s = h.speedup(app, DatasetId::Lj, TechniqueId::Dbg);
+            assert!(s > 0.1 && s < 10.0, "{}: speedup {s}", app.name());
+        }
+    }
+
+    #[test]
+    fn net_speedup_increases_with_traversals() {
+        let h = tiny();
+        let one = h.net_speedup(AppId::Sssp, DatasetId::Lj, TechniqueId::Dbg, 1);
+        let many = h.net_speedup(AppId::Sssp, DatasetId::Lj, TechniqueId::Dbg, 64);
+        assert!(many >= one, "amortization should help: {one} vs {many}");
+    }
+
+    #[test]
+    fn roots_are_deterministic_and_valid() {
+        let h = tiny();
+        let r1 = h.roots(DatasetId::Sd, 4);
+        let r2 = h.roots(DatasetId::Sd, 4);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.len(), 4);
+        let g = h.graph(DatasetId::Sd);
+        for &r in &r1 {
+            assert!(g.out_degree(r) > 0);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Reproduction harness for *A Closer Look at Lightweight Graph
+//! Reordering* (IISWC'19).
+//!
+//! The [`Harness`] caches datasets, permutations, and simulated runs;
+//! each module under [`experiments`] regenerates one table or figure
+//! of the paper and returns a formatted text report. The `repro`
+//! binary drives them from the command line:
+//!
+//! ```text
+//! repro all                 # every experiment at the default scale
+//! repro fig6 table1         # a subset
+//! repro --quick all         # tiny graphs, CI-friendly
+//! repro --scale 16 fig8     # sd = 2^16 vertices
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::{Harness, HarnessConfig};
+pub use table::TextTable;

@@ -1,0 +1,155 @@
+//! Simulator configuration: hierarchy geometry and latency model.
+
+/// Access latencies in cycles, used to convert simulated miss counts
+/// into an execution-time estimate (the basis of every speedup figure
+/// in the reproduction).
+///
+/// Values approximate the paper's Broadwell Xeon. Only *ratios* matter
+/// for speedups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// L1 hit.
+    pub l1: u64,
+    /// L2 hit.
+    pub l2: u64,
+    /// LLC hit in the local socket, no snooping needed.
+    pub l3: u64,
+    /// Served by another core's cache in the same socket.
+    pub snoop_local: u64,
+    /// Served by the remote socket (cache-to-cache or remote LLC).
+    pub snoop_remote: u64,
+    /// DRAM.
+    pub memory: u64,
+    /// Effective memory-level parallelism for *streaming* accesses:
+    /// prefetchable misses are charged `latency / streaming_mlp`.
+    pub streaming_mlp: u64,
+    /// Effective MLP for irregular accesses (out-of-order windows
+    /// overlap a few misses even without prefetching).
+    pub irregular_mlp: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            l1: 4,
+            l2: 14,
+            l3: 50,
+            snoop_local: 90,
+            snoop_remote: 150,
+            memory: 250,
+            streaming_mlp: 8,
+            irregular_mlp: 2,
+        }
+    }
+}
+
+/// Cache hierarchy geometry.
+///
+/// The defaults scale the paper's dual-socket Xeon (10 cores/socket,
+/// 32 KiB L1, 256 KiB L2, 25 MiB shared LLC per socket) down by the
+/// same factor as the dataset suite, preserving the
+/// property-array : LLC ratio that drives every observed effect
+/// (DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Total cores; they are split evenly across sockets.
+    pub cores: usize,
+    /// Number of sockets (the paper's platform has 2).
+    pub sockets: usize,
+    /// Per-core L1 data cache capacity in bytes.
+    pub l1_bytes: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// Per-core L2 capacity in bytes.
+    pub l2_bytes: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Per-socket shared LLC capacity in bytes.
+    pub llc_bytes: usize,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// Latency model for cycle estimation.
+    pub latency: LatencyModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cores: 8,
+            sockets: 2,
+            l1_bytes: 4 << 10,
+            l1_ways: 8,
+            l2_bytes: 16 << 10,
+            l2_ways: 8,
+            llc_bytes: 128 << 10,
+            llc_ways: 16,
+            latency: LatencyModel::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// A single-core configuration (handy for unit tests and
+    /// pull-only measurements).
+    pub fn single_core() -> Self {
+        SimConfig {
+            cores: 1,
+            sockets: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Cores per socket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if cores don't divide evenly across sockets.
+    pub fn cores_per_socket(&self) -> usize {
+        assert!(
+            self.sockets > 0 && self.cores.is_multiple_of(self.sockets),
+            "{} cores don't divide across {} sockets",
+            self.cores,
+            self.sockets
+        );
+        self.cores / self.sockets
+    }
+
+    /// Socket that owns core `core`.
+    pub fn socket_of(&self, core: usize) -> usize {
+        core / self.cores_per_socket()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_is_sane() {
+        let c = SimConfig::default();
+        assert_eq!(c.cores_per_socket(), 4);
+        assert_eq!(c.socket_of(0), 0);
+        assert_eq!(c.socket_of(3), 0);
+        assert_eq!(c.socket_of(4), 1);
+        assert!(c.l1_bytes < c.l2_bytes && c.l2_bytes < c.llc_bytes);
+    }
+
+    #[test]
+    fn latencies_monotone() {
+        let l = LatencyModel::default();
+        assert!(l.l1 < l.l2 && l.l2 < l.l3);
+        assert!(l.l3 < l.snoop_local && l.snoop_local < l.snoop_remote);
+        assert!(l.snoop_remote < l.memory);
+    }
+
+    #[test]
+    #[should_panic(expected = "don't divide")]
+    fn uneven_socket_split_panics() {
+        let c = SimConfig {
+            cores: 3,
+            sockets: 2,
+            ..Default::default()
+        };
+        let _ = c.cores_per_socket();
+    }
+}

@@ -1,0 +1,504 @@
+//! The full memory hierarchy simulator.
+//!
+//! Geometry: per-core private L1 and L2 (L2 inclusive of L1), one
+//! shared LLC per socket, and a directory tracking which cores hold
+//! each block so every L2 miss can be classified the way the paper's
+//! Fig. 9 does (L3 hit / intra-socket snoop / cross-socket snoop /
+//! off-chip). Writes to blocks shared by other cores trigger
+//! invalidations (RFO), which is what makes push-based applications
+//! (PRD, SSSP) generate the coherence traffic the paper measures.
+
+use crate::cache::SetAssocCache;
+use crate::config::SimConfig;
+use crate::layout::{AccessPattern, ArrayId, MemoryLayout};
+use crate::stats::SimStats;
+use crate::BLOCK_BYTES;
+
+/// Directory entry: which cores hold the block, and whether one of
+/// them holds it dirty.
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    /// Bitmask over cores with the block in their private caches.
+    sharers: u16,
+    /// Core holding the block modified; `NO_OWNER` if clean.
+    dirty_owner: u8,
+}
+
+const NO_OWNER: u8 = u8::MAX;
+
+/// Where an access was ultimately served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServePoint {
+    L1,
+    L2,
+    L3,
+    SnoopLocal,
+    SnoopRemote,
+    Memory,
+}
+
+/// The trace-driven multi-core memory hierarchy simulator.
+///
+/// Drive it through the [`crate::tracer::Tracer`] interface (or the
+/// inherent [`MemorySim::read`] / [`MemorySim::write`] /
+/// [`MemorySim::instr`] methods) and read the results from
+/// [`MemorySim::stats`].
+#[derive(Debug)]
+pub struct MemorySim {
+    config: SimConfig,
+    layout: MemoryLayout,
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    llc: Vec<SetAssocCache>,
+    directory: Vec<DirEntry>,
+    stats: SimStats,
+}
+
+impl MemorySim {
+    /// Creates a simulator for the given configuration and address
+    /// layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration requests more than 16 cores (the
+    /// directory stores sharer sets as 16-bit masks) or if cores do not
+    /// divide evenly across sockets.
+    pub fn new(config: SimConfig, layout: MemoryLayout) -> Self {
+        assert!(config.cores >= 1 && config.cores <= 16, "1..=16 cores supported");
+        let _ = config.cores_per_socket(); // validates divisibility
+        let num_blocks = (layout.total_bytes() / BLOCK_BYTES + 2) as usize;
+        MemorySim {
+            l1: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l1_bytes, config.l1_ways))
+                .collect(),
+            l2: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l2_bytes, config.l2_ways))
+                .collect(),
+            llc: (0..config.sockets)
+                .map(|_| SetAssocCache::new(config.llc_bytes, config.llc_ways))
+                .collect(),
+            directory: vec![DirEntry::default(); num_blocks],
+            config,
+            layout,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The address layout in use.
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Charges `count` modeled instructions executed by a core.
+    /// Instructions contribute `count / 2` base cycles (IPC 2 when not
+    /// memory-stalled).
+    pub fn instr(&mut self, count: u64) {
+        self.stats.instructions += count;
+        self.stats.cycles += count / 2;
+    }
+
+    /// Simulates a read of `array[index]` by `core`.
+    pub fn read(&mut self, core: usize, array: ArrayId, index: usize) {
+        let addr = self.layout.addr(array, index);
+        let pattern = self.layout.pattern(array);
+        self.access(core, addr / BLOCK_BYTES, false, pattern);
+    }
+
+    /// Simulates a write of `array[index]` by `core`.
+    pub fn write(&mut self, core: usize, array: ArrayId, index: usize) {
+        let addr = self.layout.addr(array, index);
+        let pattern = self.layout.pattern(array);
+        self.access(core, addr / BLOCK_BYTES, true, pattern);
+    }
+
+    fn access(&mut self, core: usize, block: u64, write: bool, pattern: AccessPattern) {
+        debug_assert!(core < self.config.cores, "core {core} out of range");
+        let served = self.access_inner(core, block, write);
+        self.charge(served, pattern);
+    }
+
+    fn access_inner(&mut self, core: usize, block: u64, write: bool) -> ServePoint {
+        let dir_idx = block as usize % self.directory.len();
+
+        // A write to a block other cores hold must invalidate them
+        // (RFO), even if our own copy is an L1 hit. This is the source
+        // of push-application coherence traffic.
+        if write {
+            let entry = self.directory[dir_idx];
+            let others = entry.sharers & !(1u16 << core);
+            if others != 0 {
+                return self.rfo(core, block, dir_idx, others, entry);
+            }
+        }
+
+        // L1.
+        self.stats.l1.accesses += 1;
+        let r1 = self.l1[core].access_block(block, write);
+        if r1.hit {
+            if write {
+                self.directory[dir_idx].dirty_owner = core as u8;
+                self.directory[dir_idx].sharers |= 1 << core;
+            }
+            return ServePoint::L1;
+        }
+        self.stats.l1.misses += 1;
+        if let Some((evicted, dirty)) = r1.evicted {
+            // L1 victim folds into L2 (inclusive hierarchy: it's there).
+            if dirty {
+                self.l2[core].fill_block(evicted, true);
+            }
+        }
+
+        // L2.
+        self.stats.l2.accesses += 1;
+        let r2 = self.l2[core].access_block(block, write);
+        if let Some((evicted, dirty)) = r2.evicted {
+            self.evict_from_l2(core, evicted, dirty);
+        }
+        if r2.hit {
+            self.note_present(dir_idx, core, write);
+            return ServePoint::L2;
+        }
+        self.stats.l2.misses += 1;
+
+        // L2 miss: classify like Fig. 9.
+        let served = self.serve_l2_miss(core, block, dir_idx, write);
+        self.note_present(dir_idx, core, write);
+        served
+    }
+
+    /// Read-for-ownership: invalidate every other holder, classify the
+    /// transfer as a snoop, and install the line exclusively here.
+    fn rfo(
+        &mut self,
+        core: usize,
+        block: u64,
+        dir_idx: usize,
+        others: u16,
+        entry: DirEntry,
+    ) -> ServePoint {
+        // Invalidate all other private copies.
+        for c in 0..self.config.cores {
+            if others & (1 << c) != 0 {
+                self.l1[c].invalidate_block(block);
+                self.l2[c].invalidate_block(block);
+            }
+        }
+        // Ownership transfer counted as a full miss chain.
+        self.stats.l1.accesses += 1;
+        self.stats.l1.misses += 1;
+        self.stats.l2.accesses += 1;
+        self.stats.l2.misses += 1;
+        self.stats.l3.accesses += 1;
+
+        // Provider: the dirty owner if any, else the nearest sharer.
+        let provider = if entry.dirty_owner != NO_OWNER && entry.dirty_owner as usize != core {
+            entry.dirty_owner as usize
+        } else {
+            (0..self.config.cores)
+                .find(|&c| others & (1 << c) != 0)
+                .expect("others is non-empty")
+        };
+        let my_socket = self.config.socket_of(core);
+        let same_socket = (0..self.config.cores)
+            .any(|c| others & (1 << c) != 0 && self.config.socket_of(c) == my_socket);
+        let served = if same_socket || self.config.socket_of(provider) == my_socket {
+            self.stats.l2_breakdown.snoops_local += 1;
+            ServePoint::SnoopLocal
+        } else {
+            self.stats.l2_breakdown.snoops_remote += 1;
+            ServePoint::SnoopRemote
+        };
+
+        // Install exclusively in this core's caches.
+        if let Some((e, d)) = self.l1[core].fill_block(block, true) {
+            if d {
+                self.l2[core].fill_block(e, true);
+            }
+        }
+        if let Some((e, d)) = self.l2[core].fill_block(block, true) {
+            self.evict_from_l2(core, e, d);
+        }
+        self.directory[dir_idx] = DirEntry {
+            sharers: 1 << core,
+            dirty_owner: core as u8,
+        };
+        served
+    }
+
+    /// Classifies and serves an L2 miss: local dirty holder → snoop;
+    /// local LLC → L3 hit; remote holder/LLC → remote snoop; else DRAM.
+    fn serve_l2_miss(&mut self, core: usize, block: u64, dir_idx: usize, write: bool) -> ServePoint {
+        self.stats.l3.accesses += 1;
+        let my_socket = self.config.socket_of(core);
+        let entry = self.directory[dir_idx];
+
+        // A dirty copy in another core's cache must be snooped.
+        let dirty_owner = entry.dirty_owner;
+        if dirty_owner != NO_OWNER && dirty_owner as usize != core {
+            let owner = dirty_owner as usize;
+            if write {
+                // Write: take ownership, invalidate the old owner.
+                self.l1[owner].invalidate_block(block);
+                self.l2[owner].invalidate_block(block);
+                self.directory[dir_idx] = DirEntry {
+                    sharers: 0, // requester added by note_present
+                    dirty_owner: NO_OWNER,
+                };
+            } else {
+                // Read: the owner's line is demoted to shared; the
+                // dirty data is written back to the owner's LLC.
+                self.directory[dir_idx].dirty_owner = NO_OWNER;
+                let owner_socket = self.config.socket_of(owner);
+                self.llc_fill(owner_socket, block, true);
+            }
+            return if self.config.socket_of(owner) == my_socket {
+                self.stats.l2_breakdown.snoops_local += 1;
+                ServePoint::SnoopLocal
+            } else {
+                self.stats.l2_breakdown.snoops_remote += 1;
+                ServePoint::SnoopRemote
+            };
+        }
+
+        // Local LLC?
+        let r3 = self.llc[my_socket].access_block(block, false);
+        if r3.hit {
+            self.stats.l2_breakdown.l3_hits += 1;
+            return ServePoint::L3;
+        }
+        // access_block allocated the line in the local LLC; handle its
+        // victim (dirty LLC victims go to DRAM — no further modeling).
+        let _ = r3.evicted;
+
+        // Remote LLC (clean cross-socket forward)?
+        let remote_hit = (0..self.config.sockets)
+            .filter(|&s| s != my_socket)
+            .any(|s| self.llc[s].contains_block(block));
+        if remote_hit {
+            self.stats.l2_breakdown.snoops_remote += 1;
+            return ServePoint::SnoopRemote;
+        }
+
+        // Clean copy in a remote core's private cache (sharers set but
+        // not dirty): forwarded cross-socket as well.
+        let others = entry.sharers & !(1u16 << core);
+        if others != 0 {
+            let any_local = (0..self.config.cores)
+                .any(|c| others & (1 << c) != 0 && self.config.socket_of(c) == my_socket);
+            if any_local {
+                self.stats.l2_breakdown.snoops_local += 1;
+                return ServePoint::SnoopLocal;
+            }
+            self.stats.l2_breakdown.snoops_remote += 1;
+            return ServePoint::SnoopRemote;
+        }
+
+        self.stats.l3.misses += 1;
+        self.stats.l2_breakdown.off_chip += 1;
+        ServePoint::Memory
+    }
+
+    /// Handles an eviction from a private L2: back-invalidate L1
+    /// (inclusion), update the directory, and write dirty data back to
+    /// the local LLC.
+    fn evict_from_l2(&mut self, core: usize, block: u64, dirty: bool) {
+        let l1_dirty = self.l1[core].invalidate_block(block).unwrap_or(false);
+        let dir_idx = block as usize % self.directory.len();
+        self.directory[dir_idx].sharers &= !(1u16 << core);
+        if self.directory[dir_idx].dirty_owner == core as u8 {
+            self.directory[dir_idx].dirty_owner = NO_OWNER;
+        }
+        if dirty || l1_dirty {
+            let socket = self.config.socket_of(core);
+            self.llc_fill(socket, block, true);
+        }
+    }
+
+    fn llc_fill(&mut self, socket: usize, block: u64, dirty: bool) {
+        // Dirty LLC victims drain to DRAM; nothing further to model.
+        let _ = self.llc[socket].fill_block(block, dirty);
+    }
+
+    fn note_present(&mut self, dir_idx: usize, core: usize, write: bool) {
+        let e = &mut self.directory[dir_idx];
+        e.sharers |= 1 << core;
+        if write {
+            e.dirty_owner = core as u8;
+        }
+    }
+
+    fn charge(&mut self, served: ServePoint, pattern: AccessPattern) {
+        let lat = &self.config.latency;
+        let mlp = match pattern {
+            AccessPattern::Streaming => lat.streaming_mlp,
+            AccessPattern::Irregular => lat.irregular_mlp,
+        }
+        .max(1);
+        let cycles = match served {
+            ServePoint::L1 => lat.l1,
+            ServePoint::L2 => lat.l2 / mlp,
+            ServePoint::L3 => lat.l3 / mlp,
+            ServePoint::SnoopLocal => lat.snoop_local / mlp,
+            ServePoint::SnoopRemote => lat.snoop_remote / mlp,
+            ServePoint::Memory => lat.memory / mlp,
+        };
+        self.stats.cycles += cycles.max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::AccessPattern::Irregular;
+
+    fn sim_with(n: usize) -> (MemorySim, ArrayId) {
+        let mut layout = MemoryLayout::new();
+        let a = layout.register("a", n, 8, Irregular);
+        (MemorySim::new(SimConfig::default(), layout), a)
+    }
+
+    #[test]
+    fn repeated_reads_hit_l1() {
+        let (mut sim, a) = sim_with(64);
+        for _ in 0..10 {
+            sim.read(0, a, 5);
+        }
+        let s = sim.stats();
+        assert_eq!(s.l1.accesses, 10);
+        assert_eq!(s.l1.misses, 1);
+        assert_eq!(s.l2.misses, 1);
+        assert_eq!(s.l2_breakdown.off_chip, 1);
+    }
+
+    #[test]
+    fn spatial_locality_within_block() {
+        let (mut sim, a) = sim_with(64);
+        for i in 0..8 {
+            sim.read(0, a, i); // one 64B block of 8-byte elements
+        }
+        assert_eq!(sim.stats().l1.misses, 1);
+    }
+
+    #[test]
+    fn capacity_misses_beyond_l1() {
+        // Touch far more blocks than L1 holds, twice; second pass should
+        // still hit in L2/L3 (footprint 16 KiB = L2 size).
+        let (mut sim, a) = sim_with(2048);
+        for round in 0..2 {
+            for i in (0..2048).step_by(8) {
+                sim.read(0, a, i);
+            }
+            if round == 0 {
+                let s = sim.stats();
+                assert_eq!(s.l1.misses, 256, "cold pass misses every block");
+            }
+        }
+        let s = sim.stats();
+        // Second pass: mostly L2/L3 hits, not off-chip.
+        assert!(
+            s.l2_breakdown.off_chip < 300,
+            "off-chip {} should be ~256 cold misses",
+            s.l2_breakdown.off_chip
+        );
+    }
+
+    #[test]
+    fn mpki_uses_instructions() {
+        let (mut sim, a) = sim_with(64);
+        sim.instr(1000);
+        sim.read(0, a, 0);
+        let [l1, _, l3] = sim.stats().mpki();
+        assert_eq!(l1, 1.0);
+        assert_eq!(l3, 1.0);
+    }
+
+    #[test]
+    fn write_sharing_generates_snoops() {
+        // Core 0 and core 1 (same socket) alternately write one block.
+        let (mut sim, a) = sim_with(64);
+        sim.write(0, a, 0);
+        sim.write(1, a, 0);
+        sim.write(0, a, 0);
+        sim.write(1, a, 0);
+        let b = sim.stats().l2_breakdown;
+        assert!(b.snoops_local >= 3, "ping-pong should snoop: {b:?}");
+        assert_eq!(b.snoops_remote, 0, "cores 0,1 share a socket");
+    }
+
+    #[test]
+    fn cross_socket_write_sharing_snoops_remotely() {
+        // Default config: 8 cores, 2 sockets -> core 0 socket 0,
+        // core 4 socket 1.
+        let (mut sim, a) = sim_with(64);
+        sim.write(0, a, 0);
+        sim.write(4, a, 0);
+        let b = sim.stats().l2_breakdown;
+        assert!(b.snoops_remote >= 1, "expected remote snoop: {b:?}");
+    }
+
+    #[test]
+    fn read_of_remote_dirty_line_snoops() {
+        let (mut sim, a) = sim_with(64);
+        sim.write(0, a, 0); // core 0 holds dirty
+        sim.read(1, a, 0); // same socket: local snoop
+        let b = sim.stats().l2_breakdown;
+        assert_eq!(b.snoops_local, 1, "{b:?}");
+    }
+
+    #[test]
+    fn read_sharing_is_cheap_after_first_fetch() {
+        let (mut sim, a) = sim_with(64);
+        sim.read(0, a, 0); // off-chip
+        sim.read(1, a, 0); // served on-chip (LLC or sibling)
+        let b = sim.stats().l2_breakdown;
+        assert_eq!(b.off_chip, 1, "{b:?}");
+    }
+
+    #[test]
+    fn llc_hit_after_l2_eviction() {
+        // Stream through 4x the L2 but well within the LLC, then
+        // re-read the first block: should be served by LLC (L3 hit).
+        let mut layout = MemoryLayout::new();
+        let a = layout.register("a", 16384, 8, Irregular);
+        let mut sim = MemorySim::new(SimConfig::default(), layout);
+        for i in (0..8192).step_by(8) {
+            sim.read(0, a, i);
+        }
+        let before = sim.stats().l2_breakdown.l3_hits;
+        sim.read(0, a, 0);
+        let after = sim.stats().l2_breakdown.l3_hits;
+        assert_eq!(after - before, 1, "expected an L3 hit");
+    }
+
+    #[test]
+    fn cycles_accumulate() {
+        let (mut sim, a) = sim_with(64);
+        sim.instr(100);
+        let c0 = sim.stats().cycles;
+        sim.read(0, a, 0);
+        assert!(sim.stats().cycles > c0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16 cores")]
+    fn rejects_too_many_cores() {
+        let layout = MemoryLayout::new();
+        let cfg = SimConfig {
+            cores: 32,
+            sockets: 2,
+            ..Default::default()
+        };
+        let _ = MemorySim::new(cfg, layout);
+    }
+}

@@ -1,0 +1,137 @@
+//! The instrumentation interface between the analytics engine and the
+//! simulator.
+//!
+//! The engine is generic over a [`Tracer`]; with [`NullTracer`] every
+//! call compiles to nothing (so the measured wall-clock runs pay zero
+//! overhead), while with [`crate::MemorySim`] the same algorithm code
+//! drives the cache simulator.
+
+use crate::layout::ArrayId;
+use crate::sim::MemorySim;
+
+/// Receives the memory-access and instruction stream of a traced
+/// application run.
+///
+/// `core` is the logical core executing the access; the engine assigns
+/// it from its work partitioning so the simulator sees the same
+/// sharing pattern a parallel execution would.
+pub trait Tracer {
+    /// A read of `array[index]` by `core`.
+    fn read(&mut self, core: usize, array: ArrayId, index: usize);
+
+    /// A write of `array[index]` by `core`.
+    fn write(&mut self, core: usize, array: ArrayId, index: usize);
+
+    /// `count` modeled instructions executed (loop and ALU work that
+    /// accompanies the accesses).
+    fn instr(&mut self, count: u64);
+
+    /// `true` if this tracer actually records anything. The engine can
+    /// skip trace-only bookkeeping when it returns `false`.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A tracer that records nothing; all methods inline to no-ops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    #[inline(always)]
+    fn read(&mut self, _core: usize, _array: ArrayId, _index: usize) {}
+
+    #[inline(always)]
+    fn write(&mut self, _core: usize, _array: ArrayId, _index: usize) {}
+
+    #[inline(always)]
+    fn instr(&mut self, _count: u64) {}
+
+    #[inline(always)]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+impl Tracer for MemorySim {
+    #[inline]
+    fn read(&mut self, core: usize, array: ArrayId, index: usize) {
+        MemorySim::read(self, core, array, index);
+    }
+
+    #[inline]
+    fn write(&mut self, core: usize, array: ArrayId, index: usize) {
+        MemorySim::write(self, core, array, index);
+    }
+
+    #[inline]
+    fn instr(&mut self, count: u64) {
+        MemorySim::instr(self, count);
+    }
+}
+
+/// A test helper that counts events without simulating anything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingTracer {
+    /// Number of reads observed.
+    pub reads: u64,
+    /// Number of writes observed.
+    pub writes: u64,
+    /// Sum of instruction counts observed.
+    pub instructions: u64,
+}
+
+impl Tracer for CountingTracer {
+    fn read(&mut self, _core: usize, _array: ArrayId, _index: usize) {
+        self.reads += 1;
+    }
+
+    fn write(&mut self, _core: usize, _array: ArrayId, _index: usize) {
+        self.writes += 1;
+    }
+
+    fn instr(&mut self, count: u64) {
+        self.instructions += count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::layout::{AccessPattern, MemoryLayout};
+
+    #[test]
+    fn null_tracer_is_disabled() {
+        assert!(!NullTracer.is_enabled());
+        let mut t = NullTracer;
+        t.instr(100); // no-op, must not panic
+    }
+
+    #[test]
+    fn counting_tracer_counts() {
+        let mut t = CountingTracer::default();
+        let id = ArrayId(0);
+        t.read(0, id, 1);
+        t.read(0, id, 2);
+        t.write(1, id, 3);
+        t.instr(7);
+        assert_eq!(t.reads, 2);
+        assert_eq!(t.writes, 1);
+        assert_eq!(t.instructions, 7);
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn memory_sim_implements_tracer() {
+        let mut layout = MemoryLayout::new();
+        let a = layout.register("a", 8, 8, AccessPattern::Irregular);
+        let mut sim = MemorySim::new(SimConfig::single_core(), layout);
+        let t: &mut dyn Tracer = &mut sim;
+        t.read(0, a, 0);
+        t.write(0, a, 0);
+        t.instr(10);
+        assert_eq!(sim.stats().l1.accesses, 2);
+        assert_eq!(sim.stats().instructions, 10);
+    }
+}

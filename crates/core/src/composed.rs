@@ -1,0 +1,95 @@
+//! Layered reordering: apply one technique, then another on top.
+//!
+//! The paper's Sec. VII proposes **Gorder+DBG**: DBG applied after
+//! Gorder retains most of Gorder's structure-aware layout (DBG only
+//! splices out coarse degree groups) while also segregating hot
+//! vertices into a contiguous region — a prerequisite for the
+//! domain-specialized hardware cache scheme the authors cite.
+
+use lgr_graph::{Csr, DegreeKind, Permutation};
+
+use crate::technique::ReorderingTechnique;
+use crate::{Dbg, Gorder};
+
+/// Runs `first`, rebuilds the graph, runs `second` on the result, and
+/// returns the composed permutation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Composed<A, B> {
+    first: A,
+    second: B,
+    name: &'static str,
+}
+
+impl<A: ReorderingTechnique, B: ReorderingTechnique> Composed<A, B> {
+    /// Composes `first` then `second` under the given display name.
+    pub fn new(first: A, second: B, name: &'static str) -> Self {
+        Composed {
+            first,
+            second,
+            name,
+        }
+    }
+}
+
+/// The paper's Gorder+DBG layering (Sec. VII).
+pub type GorderDbg = Composed<Gorder, Dbg>;
+
+/// Constructs Gorder+DBG with both techniques at their defaults.
+pub fn gorder_dbg() -> GorderDbg {
+    Composed::new(Gorder::new(), Dbg::default(), "Gorder+DBG")
+}
+
+impl<A: ReorderingTechnique, B: ReorderingTechnique> ReorderingTechnique for Composed<A, B> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn reorder(&self, graph: &Csr, kind: DegreeKind) -> Permutation {
+        let p1 = self.first.reorder(graph, kind);
+        let intermediate = graph.apply_permutation(&p1);
+        let p2 = self.second.reorder(&intermediate, kind);
+        p1.then(&p2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::hot_threshold;
+    use lgr_graph::gen::{community, CommunityConfig};
+    use lgr_graph::average_degree;
+
+    #[test]
+    fn composition_matches_manual_layering() {
+        let el = community(CommunityConfig::new(512, 6.0).with_seed(4));
+        let g = Csr::from_edge_list(&el);
+        let combo = gorder_dbg().reorder(&g, DegreeKind::Out);
+
+        let p1 = Gorder::new().reorder(&g, DegreeKind::Out);
+        let mid = g.apply_permutation(&p1);
+        let p2 = Dbg::default().reorder(&mid, DegreeKind::Out);
+        assert_eq!(combo, p1.then(&p2));
+        assert_eq!(gorder_dbg().name(), "Gorder+DBG");
+    }
+
+    #[test]
+    fn composition_segregates_hot_vertices() {
+        let el = community(CommunityConfig::new(1024, 8.0).with_seed(9));
+        let g = Csr::from_edge_list(&el);
+        let p = gorder_dbg().reorder(&g, DegreeKind::Out);
+        let h = g.apply_permutation(&p);
+        let degrees = h.out_degrees();
+        let threshold = hot_threshold(average_degree(&degrees));
+        let hot_count = degrees.iter().filter(|&&d| d >= threshold).count();
+        // All vertices with degree >= threshold live in the leading
+        // DBG groups, i.e. a contiguous prefix.
+        let first_cold = degrees
+            .iter()
+            .position(|&d| d < threshold)
+            .unwrap_or(degrees.len());
+        assert!(
+            first_cold >= hot_count,
+            "hot region not contiguous: first cold at {first_cold}, {hot_count} hot"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! The reordering technique abstraction.
+
+use std::time::{Duration, Instant};
+
+use lgr_graph::{Csr, DegreeKind, Permutation};
+
+/// A vertex reordering technique.
+///
+/// A technique inspects a graph and produces a [`Permutation`] mapping
+/// original vertex IDs to new IDs. Reordering never changes the graph
+/// itself — only where each vertex's data lives in memory.
+pub trait ReorderingTechnique {
+    /// Short display name ("DBG", "Sort", ...), used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes the relabeling for `graph`.
+    ///
+    /// `kind` selects which degree drives hot/cold decisions; the
+    /// paper's methodology picks it per application (Table VIII:
+    /// out-degree for pull-dominated apps, in-degree for push-dominated
+    /// ones). Techniques that don't use degrees may ignore it.
+    fn reorder(&self, graph: &Csr, kind: DegreeKind) -> Permutation;
+}
+
+/// Stable identifiers for the techniques evaluated in the paper, used
+/// by the benchmark harness for iteration and display ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TechniqueId {
+    /// Baseline: no reordering.
+    Original,
+    /// Full descending-degree sort.
+    Sort,
+    /// Hub Sorting (Zhang et al.), framework reimplementation.
+    HubSort,
+    /// Hub Clustering (Balaji & Lucia), framework reimplementation.
+    HubCluster,
+    /// Degree-Based Grouping — the paper's contribution.
+    Dbg,
+    /// Gorder (Wei et al.): structure-aware, heavyweight.
+    Gorder,
+    /// Gorder followed by DBG (paper Sec. VII).
+    GorderDbg,
+    /// Hub Sorting, original-implementation variant ("HubSort-O").
+    HubSortO,
+    /// Hub Clustering, original-implementation variant ("HubCluster-O").
+    HubClusterO,
+    /// Random reordering at vertex granularity.
+    RandomVertex,
+    /// Random reordering at cache-block granularity (n blocks).
+    RandomCacheBlock(u8),
+}
+
+impl TechniqueId {
+    /// The five techniques of the main evaluation (Fig. 6), in paper
+    /// order.
+    pub const MAIN_EVAL: [TechniqueId; 5] = [
+        TechniqueId::Sort,
+        TechniqueId::HubSort,
+        TechniqueId::HubCluster,
+        TechniqueId::Dbg,
+        TechniqueId::Gorder,
+    ];
+
+    /// The four skew-aware techniques (everything in the main
+    /// evaluation except Gorder).
+    pub const SKEW_AWARE: [TechniqueId; 4] = [
+        TechniqueId::Sort,
+        TechniqueId::HubSort,
+        TechniqueId::HubCluster,
+        TechniqueId::Dbg,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            TechniqueId::Original => "Original",
+            TechniqueId::Sort => "Sort",
+            TechniqueId::HubSort => "HubSort",
+            TechniqueId::HubCluster => "HubCluster",
+            TechniqueId::Dbg => "DBG",
+            TechniqueId::Gorder => "Gorder",
+            TechniqueId::GorderDbg => "Gorder+DBG",
+            TechniqueId::HubSortO => "HubSort-O",
+            TechniqueId::HubClusterO => "HubCluster-O",
+            TechniqueId::RandomVertex => "RV",
+            TechniqueId::RandomCacheBlock(1) => "RCB-1",
+            TechniqueId::RandomCacheBlock(2) => "RCB-2",
+            TechniqueId::RandomCacheBlock(4) => "RCB-4",
+            TechniqueId::RandomCacheBlock(_) => "RCB-n",
+        }
+    }
+}
+
+/// The do-nothing baseline: every vertex keeps its ID.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Identity;
+
+impl ReorderingTechnique for Identity {
+    fn name(&self) -> &'static str {
+        "Original"
+    }
+
+    fn reorder(&self, graph: &Csr, _kind: DegreeKind) -> Permutation {
+        Permutation::identity(graph.num_vertices())
+    }
+}
+
+/// A permutation together with how long it took to compute — the raw
+/// material of the paper's net-speedup analysis (Figs. 10–11,
+/// Tables XI–XII).
+#[derive(Debug, Clone)]
+pub struct TimedReorder {
+    /// The computed relabeling.
+    pub permutation: Permutation,
+    /// Wall-clock time spent computing it.
+    pub elapsed: Duration,
+}
+
+impl TimedReorder {
+    /// Runs `technique` on `graph` and records the elapsed wall time.
+    pub fn run<T: ReorderingTechnique + ?Sized>(
+        technique: &T,
+        graph: &Csr,
+        kind: DegreeKind,
+    ) -> TimedReorder {
+        let start = Instant::now();
+        let permutation = technique.reorder(graph, kind);
+        TimedReorder {
+            permutation,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgr_graph::EdgeList;
+
+    #[test]
+    fn identity_is_identity() {
+        let mut el = EdgeList::new(4);
+        el.push(0, 1);
+        let g = Csr::from_edge_list(&el);
+        let p = Identity.reorder(&g, DegreeKind::Out);
+        assert!(p.is_identity());
+        assert_eq!(Identity.name(), "Original");
+    }
+
+    #[test]
+    fn timed_reorder_measures() {
+        let mut el = EdgeList::new(64);
+        for i in 0..63 {
+            el.push(i, i + 1);
+        }
+        let g = Csr::from_edge_list(&el);
+        let t = TimedReorder::run(&Identity, &g, DegreeKind::Out);
+        assert!(t.permutation.is_identity());
+    }
+
+    #[test]
+    fn technique_names_match_paper() {
+        assert_eq!(TechniqueId::Dbg.name(), "DBG");
+        assert_eq!(TechniqueId::RandomCacheBlock(4).name(), "RCB-4");
+        assert_eq!(TechniqueId::HubSortO.name(), "HubSort-O");
+        assert_eq!(TechniqueId::MAIN_EVAL.len(), 5);
+    }
+}

@@ -1,0 +1,379 @@
+//! Compressed Sparse Row graphs with both edge directions.
+//!
+//! Like Ligra, the analytics engine needs in-edges for pull-based
+//! computations and out-edges for push-based ones, so [`Csr`] stores
+//! both adjacency structures. Weighted graphs carry per-edge weights
+//! parallel to each adjacency array.
+
+use crate::{EdgeList, Permutation, VertexId, Weight};
+
+/// One direction of adjacency in CSR form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Adjacency {
+    /// `index[v]..index[v+1]` is the neighbor range of `v`. Length V+1.
+    index: Vec<usize>,
+    /// Neighbor IDs, grouped by owning vertex.
+    neighbors: Vec<VertexId>,
+    /// Optional per-edge weights, parallel to `neighbors`.
+    weights: Option<Vec<Weight>>,
+}
+
+impl Adjacency {
+    /// Builds the adjacency from `(owner, neighbor, weight)` triples via
+    /// counting sort — O(V + E), the same prefix-sum construction a graph
+    /// framework would use.
+    fn build(
+        num_vertices: usize,
+        edges: &[(VertexId, VertexId)],
+        weights: Option<&[Weight]>,
+        owner_is_src: bool,
+    ) -> Self {
+        let mut counts = vec![0usize; num_vertices + 1];
+        for &(u, v) in edges {
+            let owner = if owner_is_src { u } else { v };
+            counts[owner as usize + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            counts[i + 1] += counts[i];
+        }
+        let index = counts.clone();
+        let mut cursor = counts;
+        let mut neighbors = vec![0 as VertexId; edges.len()];
+        let mut out_weights = weights.map(|_| vec![0 as Weight; edges.len()]);
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            let (owner, other) = if owner_is_src { (u, v) } else { (v, u) };
+            let slot = cursor[owner as usize];
+            cursor[owner as usize] += 1;
+            neighbors[slot] = other;
+            if let (Some(ws), Some(out)) = (weights, out_weights.as_mut()) {
+                out[slot] = ws[i];
+            }
+        }
+        // Canonicalize: sort each vertex's neighbor list (weights move
+        // with their edges). This makes CSR equality structural — two
+        // edge lists describing the same multigraph build identical
+        // CSRs — and gives the ascending-ID edge order real datasets
+        // ship with.
+        for v in 0..num_vertices {
+            let range = index[v]..index[v + 1];
+            match out_weights.as_mut() {
+                None => neighbors[range].sort_unstable(),
+                Some(ws) => {
+                    let mut pairs: Vec<(VertexId, Weight)> = neighbors[range.clone()]
+                        .iter()
+                        .copied()
+                        .zip(ws[range.clone()].iter().copied())
+                        .collect();
+                    pairs.sort_unstable();
+                    for (slot, (nbr, w)) in range.clone().zip(pairs) {
+                        neighbors[slot] = nbr;
+                        ws[slot] = w;
+                    }
+                }
+            }
+        }
+        Adjacency {
+            index,
+            neighbors,
+            weights: out_weights,
+        }
+    }
+
+    #[inline]
+    fn range(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.index[v as usize]..self.index[v as usize + 1]
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.range(v)]
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> u32 {
+        (self.index[v as usize + 1] - self.index[v as usize]) as u32
+    }
+}
+
+/// A directed graph in Compressed Sparse Row form, storing both in- and
+/// out-edges, with optional per-edge weights.
+///
+/// # Example
+///
+/// ```
+/// use lgr_graph::{Csr, EdgeList};
+///
+/// let mut el = EdgeList::new(3);
+/// el.push(0, 1);
+/// el.push(0, 2);
+/// el.push(2, 1);
+/// let g = Csr::from_edge_list(&el);
+/// assert_eq!(g.out_neighbors(0), &[1, 2]);
+/// assert_eq!(g.in_neighbors(1), &[0, 2]);
+/// assert_eq!(g.out_degree(0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Csr {
+    num_vertices: usize,
+    num_edges: usize,
+    out: Adjacency,
+    inn: Adjacency,
+}
+
+impl Csr {
+    /// Builds a CSR graph from an edge list. O(V + E).
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        let n = el.num_vertices();
+        let edges = el.edges();
+        let weights = el.weights();
+        Csr {
+            num_vertices: n,
+            num_edges: edges.len(),
+            out: Adjacency::build(n, edges, weights, true),
+            inn: Adjacency::build(n, edges, weights, false),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// `true` if the graph carries edge weights.
+    pub fn is_weighted(&self) -> bool {
+        self.out.weights.is_some()
+    }
+
+    /// Average degree `E / V` (0.0 for an empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.num_edges as f64 / self.num_vertices as f64
+        }
+    }
+
+    /// Out-neighbors of `v` (targets of edges leaving `v`).
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.out.neighbors(v)
+    }
+
+    /// In-neighbors of `v` (sources of edges entering `v`).
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.inn.neighbors(v)
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        self.out.degree(v)
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> u32 {
+        self.inn.degree(v)
+    }
+
+    /// Weights parallel to [`Csr::out_neighbors`], if the graph is
+    /// weighted.
+    #[inline]
+    pub fn out_weights(&self, v: VertexId) -> Option<&[Weight]> {
+        self.out
+            .weights
+            .as_ref()
+            .map(|w| &w[self.out.range(v)])
+    }
+
+    /// Weights parallel to [`Csr::in_neighbors`], if the graph is
+    /// weighted.
+    #[inline]
+    pub fn in_weights(&self, v: VertexId) -> Option<&[Weight]> {
+        self.inn.weights.as_ref().map(|w| &w[self.inn.range(v)])
+    }
+
+    /// Offset of the first out-edge of `v` within the out-edge array.
+    ///
+    /// Exposed so the cache simulator can map edge-array traversals to
+    /// memory addresses.
+    #[inline]
+    pub fn out_edge_offset(&self, v: VertexId) -> usize {
+        self.out.index[v as usize]
+    }
+
+    /// Offset of the first in-edge of `v` within the in-edge array.
+    #[inline]
+    pub fn in_edge_offset(&self, v: VertexId) -> usize {
+        self.inn.index[v as usize]
+    }
+
+    /// All out-degrees as a vector.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        (0..self.num_vertices as VertexId)
+            .map(|v| self.out_degree(v))
+            .collect()
+    }
+
+    /// All in-degrees as a vector.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        (0..self.num_vertices as VertexId)
+            .map(|v| self.in_degree(v))
+            .collect()
+    }
+
+    /// Converts back to an edge list (edges ordered by source vertex).
+    pub fn to_edge_list(&self) -> EdgeList {
+        let mut el = EdgeList::with_capacity(self.num_vertices, self.num_edges);
+        for u in 0..self.num_vertices as VertexId {
+            match self.out_weights(u) {
+                Some(ws) => {
+                    for (&v, &w) in self.out_neighbors(u).iter().zip(ws) {
+                        el.push_weighted(u, v, w);
+                    }
+                }
+                None => {
+                    for &v in self.out_neighbors(u) {
+                        el.push(u, v);
+                    }
+                }
+            }
+        }
+        el
+    }
+
+    /// Relabels every vertex according to `perm` and rebuilds the CSR.
+    ///
+    /// This is the "apply the reordering" step: after it, vertex `v`'s
+    /// data lives at slot `perm.new_id(v)` of every array. The graph
+    /// itself (as a set of weighted edges) is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutation length differs from the vertex count.
+    pub fn apply_permutation(&self, perm: &Permutation) -> Csr {
+        assert_eq!(perm.len(), self.num_vertices, "permutation length mismatch");
+        // Relabel edges; rebuild via the standard counting-sort path so
+        // adjacency grouping reflects the new layout.
+        let relabeled = self.to_edge_list().relabel(perm);
+        Csr::from_edge_list(&relabeled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut el = EdgeList::new(4);
+        el.push(0, 1);
+        el.push(0, 2);
+        el.push(1, 3);
+        el.push(2, 3);
+        Csr::from_edge_list(&el)
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.average_degree(), 1.0);
+    }
+
+    #[test]
+    fn weighted_round_trip() {
+        let mut el = EdgeList::new(3);
+        el.push_weighted(0, 1, 10);
+        el.push_weighted(0, 2, 20);
+        el.push_weighted(2, 1, 30);
+        let g = Csr::from_edge_list(&el);
+        assert!(g.is_weighted());
+        assert_eq!(g.out_weights(0).unwrap(), &[10, 20]);
+        // In-edges of 1 come from 0 (w=10) and 2 (w=30).
+        let (in_nb, in_w) = (g.in_neighbors(1), g.in_weights(1).unwrap());
+        let mut pairs: Vec<_> = in_nb.iter().zip(in_w).map(|(&a, &b)| (a, b)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 10), (2, 30)]);
+    }
+
+    #[test]
+    fn to_edge_list_round_trips() {
+        let g = diamond();
+        let el = g.to_edge_list();
+        let g2 = Csr::from_edge_list(&el);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn permutation_preserves_structure() {
+        let g = diamond();
+        // Reverse IDs: v -> 3 - v.
+        let perm = Permutation::from_new_ids(vec![3, 2, 1, 0]).unwrap();
+        let h = g.apply_permutation(&perm);
+        assert_eq!(h.num_edges(), g.num_edges());
+        // Edge 0->1 becomes 3->2.
+        assert!(h.out_neighbors(3).contains(&2));
+        // Degree multiset is preserved.
+        let mut dg: Vec<_> = g.out_degrees();
+        let mut dh: Vec<_> = h.out_degrees();
+        dg.sort_unstable();
+        dh.sort_unstable();
+        assert_eq!(dg, dh);
+    }
+
+    #[test]
+    fn permutation_preserves_weights() {
+        let mut el = EdgeList::new(3);
+        el.push_weighted(0, 1, 5);
+        el.push_weighted(1, 2, 6);
+        let g = Csr::from_edge_list(&el);
+        let perm = Permutation::from_new_ids(vec![2, 0, 1]).unwrap();
+        let h = g.apply_permutation(&perm);
+        // Edge 0->1 (w=5) is now 2->0.
+        assert_eq!(h.out_neighbors(2), &[0]);
+        assert_eq!(h.out_weights(2).unwrap(), &[5]);
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges() {
+        let mut el = EdgeList::new(2);
+        el.push(0, 0);
+        el.push(0, 1);
+        el.push(0, 1);
+        let g = Csr::from_edge_list(&el);
+        assert_eq!(g.out_degree(0), 3);
+        assert_eq!(g.in_degree(1), 2);
+        assert_eq!(g.in_degree(0), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edge_list(&EdgeList::new(0));
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn edge_offsets_are_cumulative() {
+        let g = diamond();
+        assert_eq!(g.out_edge_offset(0), 0);
+        assert_eq!(g.out_edge_offset(1), 2);
+        assert_eq!(g.out_edge_offset(2), 3);
+        assert_eq!(g.in_edge_offset(3), 2);
+    }
+}

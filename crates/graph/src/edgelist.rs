@@ -1,0 +1,314 @@
+//! Edge-list representation: the interchange format between generators,
+//! reordering, and CSR construction.
+
+use crate::{Permutation, VertexId, Weight};
+
+/// A directed graph as a list of `(src, dst)` pairs with optional
+/// per-edge weights.
+///
+/// The edge order is meaningful only as a construction artifact; [`crate::Csr`]
+/// construction groups edges by endpoint. Self-loops and parallel edges
+/// are permitted (real-world crawls contain both).
+///
+/// # Example
+///
+/// ```
+/// use lgr_graph::EdgeList;
+///
+/// let mut el = EdgeList::new(4);
+/// el.push(0, 1);
+/// el.push(1, 2);
+/// el.push(3, 0);
+/// assert_eq!(el.num_edges(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EdgeList {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    weights: Option<Vec<Weight>>,
+}
+
+impl EdgeList {
+    /// Creates an empty edge list over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        EdgeList {
+            num_vertices,
+            edges: Vec::new(),
+            weights: None,
+        }
+    }
+
+    /// Creates an empty edge list with capacity for `cap` edges.
+    pub fn with_capacity(num_vertices: usize, cap: usize) -> Self {
+        EdgeList {
+            num_vertices,
+            edges: Vec::with_capacity(cap),
+            weights: None,
+        }
+    }
+
+    /// Builds an edge list from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range, or if `weights` is present
+    /// with a length different from `edges`.
+    pub fn from_parts(
+        num_vertices: usize,
+        edges: Vec<(VertexId, VertexId)>,
+        weights: Option<Vec<Weight>>,
+    ) -> Self {
+        for &(u, v) in &edges {
+            assert!(
+                (u as usize) < num_vertices && (v as usize) < num_vertices,
+                "edge ({u}, {v}) out of range for {num_vertices} vertices"
+            );
+        }
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), edges.len(), "weights length mismatch");
+        }
+        EdgeList {
+            num_vertices,
+            edges,
+            weights,
+        }
+    }
+
+    /// Number of vertices (the ID space is `0..num_vertices`).
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if the list carries per-edge weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Appends an unweighted edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range, or if the list already
+    /// carries weights (mixing weighted and unweighted edges is a bug).
+    pub fn push(&mut self, src: VertexId, dst: VertexId) {
+        assert!(
+            (src as usize) < self.num_vertices && (dst as usize) < self.num_vertices,
+            "edge ({src}, {dst}) out of range"
+        );
+        assert!(self.weights.is_none(), "pushing unweighted edge into weighted list");
+        self.edges.push((src, dst));
+    }
+
+    /// Appends a weighted edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range, or if the list already
+    /// contains unweighted edges.
+    pub fn push_weighted(&mut self, src: VertexId, dst: VertexId, weight: Weight) {
+        assert!(
+            (src as usize) < self.num_vertices && (dst as usize) < self.num_vertices,
+            "edge ({src}, {dst}) out of range"
+        );
+        let weights = match &mut self.weights {
+            Some(w) => w,
+            None => {
+                assert!(self.edges.is_empty(), "pushing weighted edge into unweighted list");
+                self.weights = Some(Vec::new());
+                self.weights.as_mut().unwrap()
+            }
+        };
+        weights.push(weight);
+        self.edges.push((src, dst));
+    }
+
+    /// The edges as a slice of `(src, dst)` pairs.
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// The per-edge weights, if any, parallel to [`EdgeList::edges`].
+    pub fn weights(&self) -> Option<&[Weight]> {
+        self.weights.as_deref()
+    }
+
+    /// Iterates over `(src, dst, weight)` triples; unweighted edges get
+    /// weight 1.
+    pub fn iter_weighted(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        self.edges.iter().enumerate().map(move |(i, &(u, v))| {
+            let w = self.weights.as_ref().map_or(1, |ws| ws[i]);
+            (u, v, w)
+        })
+    }
+
+    /// Attaches deterministic pseudo-random weights in `1..=max_weight`
+    /// derived from `seed`, replacing any existing weights.
+    ///
+    /// Weights are attached to *edge slots*, so two structurally identical
+    /// lists with the same seed get identical weights.
+    pub fn randomize_weights(&mut self, max_weight: Weight, seed: u64) {
+        assert!(max_weight >= 1, "max_weight must be at least 1");
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let weights = self
+            .edges
+            .iter()
+            .map(|_| {
+                // SplitMix64 step: cheap, high-quality, reproducible.
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                (z % max_weight as u64) as Weight + 1
+            })
+            .collect();
+        self.weights = Some(weights);
+    }
+
+    /// Returns a new edge list with every vertex `v` relabeled to
+    /// `perm.new_id(v)`. Weights follow their edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutation length differs from the vertex count.
+    pub fn relabel(&self, perm: &Permutation) -> EdgeList {
+        assert_eq!(perm.len(), self.num_vertices, "permutation length mismatch");
+        let edges = self
+            .edges
+            .iter()
+            .map(|&(u, v)| (perm.new_id(u), perm.new_id(v)))
+            .collect();
+        EdgeList {
+            num_vertices: self.num_vertices,
+            edges,
+            weights: self.weights.clone(),
+        }
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.num_vertices];
+        for &(u, _) in &self.edges {
+            d[u as usize] += 1;
+        }
+        d
+    }
+
+    /// In-degree of every vertex.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.num_vertices];
+        for &(_, v) in &self.edges {
+            d[v as usize] += 1;
+        }
+        d
+    }
+
+    /// Consumes the list, returning `(num_vertices, edges, weights)`.
+    pub fn into_parts(self) -> (usize, Vec<(VertexId, VertexId)>, Option<Vec<Weight>>) {
+        (self.num_vertices, self.edges, self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        el.push(2, 0);
+        assert_eq!(el.num_edges(), 2);
+        assert_eq!(el.num_vertices(), 3);
+        assert!(!el.is_weighted());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_out_of_range_panics() {
+        let mut el = EdgeList::new(2);
+        el.push(0, 2);
+    }
+
+    #[test]
+    fn weighted_push() {
+        let mut el = EdgeList::new(4);
+        el.push_weighted(0, 1, 7);
+        el.push_weighted(1, 2, 3);
+        assert!(el.is_weighted());
+        assert_eq!(el.weights().unwrap(), &[7, 3]);
+        let triples: Vec<_> = el.iter_weighted().collect();
+        assert_eq!(triples, vec![(0, 1, 7), (1, 2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unweighted edge into weighted")]
+    fn mixing_weighted_unweighted_panics() {
+        let mut el = EdgeList::new(4);
+        el.push_weighted(0, 1, 7);
+        el.push(1, 2);
+    }
+
+    #[test]
+    fn unweighted_iter_defaults_to_one() {
+        let mut el = EdgeList::new(2);
+        el.push(0, 1);
+        assert_eq!(el.iter_weighted().next(), Some((0, 1, 1)));
+    }
+
+    #[test]
+    fn randomize_weights_deterministic_and_in_range() {
+        let mut a = EdgeList::new(8);
+        for i in 0..7 {
+            a.push(i, i + 1);
+        }
+        let mut b = a.clone();
+        a.randomize_weights(10, 99);
+        b.randomize_weights(10, 99);
+        assert_eq!(a.weights(), b.weights());
+        assert!(a.weights().unwrap().iter().all(|&w| (1..=10).contains(&w)));
+
+        let mut c = b.clone();
+        c.randomize_weights(10, 100);
+        assert_ne!(a.weights(), c.weights(), "different seeds should differ");
+    }
+
+    #[test]
+    fn degrees() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        el.push(0, 2);
+        el.push(1, 2);
+        assert_eq!(el.out_degrees(), vec![2, 1, 0]);
+        assert_eq!(el.in_degrees(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn relabel_moves_weights_with_edges() {
+        let mut el = EdgeList::new(3);
+        el.push_weighted(0, 1, 5);
+        el.push_weighted(1, 2, 9);
+        // Reverse the ID space: 0->2, 1->1, 2->0.
+        let perm = Permutation::from_new_ids(vec![2, 1, 0]).unwrap();
+        let r = el.relabel(&perm);
+        assert_eq!(r.edges(), &[(2, 1), (1, 0)]);
+        assert_eq!(r.weights().unwrap(), &[5, 9]);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let el = EdgeList::from_parts(3, vec![(0, 1), (2, 2)], None);
+        assert_eq!(el.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights length mismatch")]
+    fn from_parts_rejects_bad_weights() {
+        EdgeList::from_parts(3, vec![(0, 1)], Some(vec![1, 2]));
+    }
+}

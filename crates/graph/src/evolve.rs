@@ -1,0 +1,286 @@
+//! Evolving graphs: the paper's Sec. VIII-B future-work scenario.
+//!
+//! In deployment, a graph receives a stream of edge additions and
+//! removals interleaved with analytic queries. The paper argues that
+//! reordering amortizes well here because churn barely moves the
+//! degree distribution: "addition or removal of some vertices or
+//! edges in a large graph would not lead to a drastic change in ...
+//! which vertices are classified hot in a short time window."
+//!
+//! [`EvolvingGraph`] maintains an edge multiset under batched updates
+//! and snapshots it to CSR for queries. [`EvolvingGraph::synthesize_batch`]
+//! generates realistic churn (degree-biased endpoints, like growth by
+//! preferential attachment). [`hot_set_overlap`] measures exactly the
+//! stability claim above.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::degree::average_degree;
+use crate::{Csr, EdgeList, VertexId, Weight};
+
+/// A batch of edge updates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    /// Edges to add, with weights.
+    pub additions: Vec<(VertexId, VertexId, Weight)>,
+    /// Number of randomly selected existing edges to remove.
+    pub removals: usize,
+}
+
+/// Churn shape for synthetic update streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnConfig {
+    /// Edges added per batch.
+    pub additions: usize,
+    /// Edges removed per batch.
+    pub removals: usize,
+    /// If `true`, new edge endpoints are degree-biased (preferential
+    /// attachment); otherwise uniform.
+    pub preferential: bool,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            additions: 1000,
+            removals: 500,
+            preferential: true,
+        }
+    }
+}
+
+/// A graph under a stream of edge updates.
+#[derive(Debug, Clone)]
+pub struct EvolvingGraph {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    weights: Vec<Weight>,
+    rng: SmallRng,
+}
+
+impl EvolvingGraph {
+    /// Starts from a static snapshot. Unweighted edges get weight 1.
+    pub fn from_edge_list(el: &EdgeList, seed: u64) -> Self {
+        let weights = match el.weights() {
+            Some(w) => w.to_vec(),
+            None => vec![1; el.num_edges()],
+        };
+        EvolvingGraph {
+            num_vertices: el.num_vertices(),
+            edges: el.edges().to_vec(),
+            weights,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Current edge count.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Applies a batch: removals first (random existing edges), then
+    /// additions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an addition endpoint is out of range.
+    pub fn apply(&mut self, batch: &UpdateBatch) {
+        for _ in 0..batch.removals.min(self.edges.len()) {
+            let idx = self.rng.gen_range(0..self.edges.len());
+            self.edges.swap_remove(idx);
+            self.weights.swap_remove(idx);
+        }
+        for &(u, v, w) in &batch.additions {
+            assert!(
+                (u as usize) < self.num_vertices && (v as usize) < self.num_vertices,
+                "edge ({u}, {v}) out of range"
+            );
+            self.edges.push((u, v));
+            self.weights.push(w);
+        }
+    }
+
+    /// Generates a churn batch against the current state.
+    ///
+    /// Degree-biased endpoint selection approximates how natural
+    /// graphs grow (hubs keep acquiring edges), keeping the evolved
+    /// graph scale-free.
+    pub fn synthesize_batch(&mut self, cfg: ChurnConfig) -> UpdateBatch {
+        let n = self.num_vertices;
+        let mut additions = Vec::with_capacity(cfg.additions);
+        for _ in 0..cfg.additions {
+            let (u, v) = if cfg.preferential && !self.edges.is_empty() {
+                // Sample endpoints of random existing edges: an
+                // endpoint chosen this way is degree-biased without
+                // any auxiliary structure.
+                let e1 = self.edges[self.rng.gen_range(0..self.edges.len())];
+                let e2 = self.edges[self.rng.gen_range(0..self.edges.len())];
+                let u = if self.rng.gen() { e1.0 } else { e1.1 };
+                let v = if self.rng.gen() { e2.0 } else { e2.1 };
+                (u, v)
+            } else {
+                (
+                    self.rng.gen_range(0..n) as VertexId,
+                    self.rng.gen_range(0..n) as VertexId,
+                )
+            };
+            let w = self.rng.gen_range(1..64) as Weight;
+            additions.push((u, v, w));
+        }
+        UpdateBatch {
+            additions,
+            removals: cfg.removals,
+        }
+    }
+
+    /// Snapshots the current state as a CSR graph for querying.
+    pub fn snapshot(&self) -> Csr {
+        let el = EdgeList::from_parts(
+            self.num_vertices,
+            self.edges.clone(),
+            Some(self.weights.clone()),
+        );
+        Csr::from_edge_list(&el)
+    }
+
+    /// Current out-degrees without building a CSR.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.num_vertices];
+        for &(u, _) in &self.edges {
+            d[u as usize] += 1;
+        }
+        d
+    }
+}
+
+/// Jaccard overlap of the hot-vertex sets of two degree vectors —
+/// the paper's "hot set stability under churn" claim, quantified.
+/// 1.0 means identical hot sets.
+pub fn hot_set_overlap(before: &[u32], after: &[u32]) -> f64 {
+    assert_eq!(before.len(), after.len(), "degree vectors must align");
+    let ta = average_degree(before);
+    let tb = average_degree(after);
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for (&a, &b) in before.iter().zip(after.iter()) {
+        let ha = a as f64 >= ta;
+        let hb = b as f64 >= tb;
+        if ha || hb {
+            union += 1;
+            if ha && hb {
+                inter += 1;
+            }
+        }
+    }
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{community, CommunityConfig};
+
+    fn base() -> EvolvingGraph {
+        let mut el = community(CommunityConfig::new(2048, 8.0).with_seed(2));
+        el.randomize_weights(32, 3);
+        EvolvingGraph::from_edge_list(&el, 7)
+    }
+
+    #[test]
+    fn apply_changes_edge_count() {
+        let mut g = base();
+        let e0 = g.num_edges();
+        g.apply(&UpdateBatch {
+            additions: vec![(0, 1, 5), (2, 3, 6)],
+            removals: 1,
+        });
+        assert_eq!(g.num_edges(), e0 + 1);
+    }
+
+    #[test]
+    fn removals_bounded_by_edge_count() {
+        let mut el = EdgeList::new(4);
+        el.push(0, 1);
+        let mut g = EvolvingGraph::from_edge_list(&el, 1);
+        g.apply(&UpdateBatch {
+            additions: vec![],
+            removals: 100,
+        });
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let g = base();
+        let csr = g.snapshot();
+        assert_eq!(csr.num_edges(), g.num_edges());
+        assert_eq!(csr.num_vertices(), g.num_vertices());
+        assert!(csr.is_weighted());
+        assert_eq!(csr.out_degrees(), g.out_degrees());
+    }
+
+    #[test]
+    fn synthesized_batches_are_deterministic_per_seed() {
+        let mut a = base();
+        let mut b = base();
+        let ba = a.synthesize_batch(ChurnConfig::default());
+        let bb = b.synthesize_batch(ChurnConfig::default());
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn preferential_churn_keeps_skew() {
+        let mut g = base();
+        for _ in 0..10 {
+            let batch = g.synthesize_batch(ChurnConfig {
+                additions: 800,
+                removals: 800,
+                preferential: true,
+            });
+            g.apply(&batch);
+        }
+        let s = crate::stats::SkewStats::from_degrees(&g.out_degrees());
+        assert!(
+            s.edge_coverage > 0.5,
+            "churn destroyed skew: coverage {}",
+            s.edge_coverage
+        );
+    }
+
+    #[test]
+    fn hot_set_stable_under_small_churn() {
+        // The paper's Sec. VIII-B intuition: modest churn leaves the
+        // hot set largely intact.
+        let mut g = base();
+        let before = g.out_degrees();
+        let edges = g.num_edges();
+        // ~5% churn.
+        let batch = g.synthesize_batch(ChurnConfig {
+            additions: edges / 20,
+            removals: edges / 20,
+            preferential: true,
+        });
+        g.apply(&batch);
+        let after = g.out_degrees();
+        let overlap = hot_set_overlap(&before, &after);
+        assert!(overlap > 0.8, "hot set overlap {overlap} too low after 5% churn");
+    }
+
+    #[test]
+    fn hot_set_overlap_extremes() {
+        assert_eq!(hot_set_overlap(&[1, 5, 1], &[1, 5, 1]), 1.0);
+        assert_eq!(hot_set_overlap(&[0, 0], &[0, 0]), 1.0);
+        let disjoint = hot_set_overlap(&[9, 0, 0], &[0, 0, 9]);
+        assert_eq!(disjoint, 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Walker/Vose alias method for O(1) weighted sampling.
+//!
+//! The community generator draws millions of edge endpoints from
+//! degree-weighted distributions; the alias method makes each draw O(1)
+//! after O(n) setup.
+
+use rand::Rng;
+
+/// A discrete distribution supporting O(1) weighted sampling.
+///
+/// # Example
+///
+/// ```
+/// use lgr_graph::gen::AliasTable;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let table = AliasTable::new(&[1.0, 0.0, 3.0]).unwrap();
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let x = table.sample(&mut rng);
+/// assert!(x == 0 || x == 2); // index 1 has zero weight
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Probability of keeping the column's own index, scaled to [0, 1].
+    prob: Vec<f64>,
+    /// Fallback index when the column's own index is rejected.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights.
+    ///
+    /// Returns `None` if `weights` is empty, sums to zero, or contains a
+    /// negative/non-finite value.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if !total.is_finite() || total <= 0.0 || weights.iter().any(|&w| w < 0.0 || !w.is_finite())
+        {
+            return None;
+        }
+        // Vose's algorithm: split columns into under/over-full stacks.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for &l in &large {
+            prob[l] = 1.0;
+        }
+        for &s in &small {
+            // Numerical leftovers; treat as full columns.
+            prob[s] = 1.0;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` if the table has no outcomes (never constructed; kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws an index distributed according to the construction weights.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let col = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[col] {
+            col
+        } else {
+            self.alias[col]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_none());
+        assert!(AliasTable::new(&[f64::NAN]).is_none());
+        assert!(AliasTable::new(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[5.0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_entries_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0, 0.0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = t.sample(&mut rng);
+            assert!(x == 0 || x == 2);
+        }
+    }
+
+    #[test]
+    fn empirical_distribution_matches_weights() {
+        let weights = [1.0, 2.0, 4.0, 8.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for i in 0..4 {
+            let expected = weights[i] / total;
+            let observed = counts[i] as f64 / draws as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "outcome {i}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! R-MAT (recursive matrix) graph generator.
+//!
+//! R-MAT [Chakrabarti et al., SDM'04] recursively subdivides the
+//! adjacency matrix into four quadrants with probabilities `a, b, c, d`
+//! and places each edge by descending `scale` levels. Skewed parameters
+//! (the Graph500 defaults `a=0.57, b=c=0.19`) yield power-law degree
+//! distributions with *no community structure in the ID ordering* —
+//! the paper's synthetic `kr` dataset. Equal parameters
+//! (`a=b=c=d=0.25`) yield an Erdős–Rényi-like graph — the paper's
+//! no-skew `uni` dataset.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{EdgeList, VertexId};
+
+/// Configuration for the R-MAT generator.
+///
+/// # Example
+///
+/// ```
+/// use lgr_graph::gen::{rmat, RmatConfig};
+///
+/// let el = rmat(RmatConfig::new(8, 4).with_seed(3));
+/// assert_eq!(el.num_vertices(), 256);
+/// assert_eq!(el.num_edges(), 256 * 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Edges per vertex (total edges = `edge_factor << scale`).
+    pub edge_factor: usize,
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// Graph500-style skewed defaults (`a=0.57, b=c=0.19, d=0.05`):
+    /// the `kr` analogue.
+    pub fn new(scale: u32, edge_factor: usize) -> Self {
+        RmatConfig {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed: 0,
+        }
+    }
+
+    /// Uniform quadrants (`a=b=c=d=0.25`): the no-skew `uni` analogue.
+    pub fn uniform(scale: u32, edge_factor: usize) -> Self {
+        RmatConfig {
+            scale,
+            edge_factor,
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the quadrant probabilities `a`, `b`, `c` (`d` is implied).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a + b + c <= 1` and all are non-negative.
+    pub fn with_quadrants(mut self, a: f64, b: f64, c: f64) -> Self {
+        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0 + 1e-9);
+        self.a = a;
+        self.b = b;
+        self.c = c;
+        self
+    }
+}
+
+/// Generates an R-MAT graph.
+///
+/// The quadrant probabilities are jittered per level (+-10%) as in the
+/// original paper so the degree distribution is smooth rather than
+/// lumpy.
+pub fn rmat(cfg: RmatConfig) -> EdgeList {
+    let n = 1usize << cfg.scale;
+    let num_edges = n * cfg.edge_factor;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut el = EdgeList::with_capacity(n, num_edges);
+    for _ in 0..num_edges {
+        let (u, v) = rmat_edge(&mut rng, cfg);
+        el.push(u, v);
+    }
+    el
+}
+
+fn rmat_edge(rng: &mut SmallRng, cfg: RmatConfig) -> (VertexId, VertexId) {
+    let mut row = 0u64;
+    let mut col = 0u64;
+    for level in 0..cfg.scale {
+        let half = 1u64 << (cfg.scale - 1 - level);
+        // Jitter each quadrant probability by up to +-10% per level.
+        let jitter = |p: f64, r: &mut SmallRng| p * (0.9 + 0.2 * r.gen::<f64>());
+        let a = jitter(cfg.a, rng);
+        let b = jitter(cfg.b, rng);
+        let c = jitter(cfg.c, rng);
+        let d = jitter(1.0 - cfg.a - cfg.b - cfg.c, rng);
+        let total = a + b + c + d;
+        let x = rng.gen::<f64>() * total;
+        if x < a {
+            // top-left: nothing to add
+        } else if x < a + b {
+            col += half;
+        } else if x < a + b + c {
+            row += half;
+        } else {
+            row += half;
+            col += half;
+        }
+    }
+    (row as VertexId, col as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::average_degree;
+
+    #[test]
+    fn produces_requested_sizes() {
+        let el = rmat(RmatConfig::new(10, 8).with_seed(1));
+        assert_eq!(el.num_vertices(), 1024);
+        assert_eq!(el.num_edges(), 8192);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(RmatConfig::new(8, 4).with_seed(5));
+        let b = rmat(RmatConfig::new(8, 4).with_seed(5));
+        let c = rmat(RmatConfig::new(8, 4).with_seed(6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skewed_rmat_is_skewed() {
+        // With Graph500 parameters, hot vertices (deg >= avg) should be a
+        // small fraction of vertices but cover a large fraction of edges.
+        let el = rmat(RmatConfig::new(12, 16).with_seed(2));
+        let degrees = el.out_degrees();
+        let avg = average_degree(&degrees);
+        let hot: Vec<usize> = degrees
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d as f64 >= avg)
+            .map(|(i, _)| i)
+            .collect();
+        let hot_frac = hot.len() as f64 / degrees.len() as f64;
+        let hot_edges: u64 = hot.iter().map(|&v| degrees[v] as u64).sum();
+        let edge_cov = hot_edges as f64 / el.num_edges() as f64;
+        assert!(hot_frac < 0.35, "hot fraction too high: {hot_frac}");
+        assert!(edge_cov > 0.6, "edge coverage too low: {edge_cov}");
+    }
+
+    #[test]
+    fn uniform_rmat_is_not_skewed() {
+        let el = rmat(RmatConfig::uniform(12, 16).with_seed(2));
+        let degrees = el.out_degrees();
+        let avg = average_degree(&degrees);
+        let hot_frac = degrees.iter().filter(|&&d| d as f64 >= avg).count() as f64
+            / degrees.len() as f64;
+        // Poisson-like distribution: roughly half the vertices sit at or
+        // above the mean.
+        assert!(hot_frac > 0.35, "uniform graph unexpectedly skewed: {hot_frac}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn quadrants_must_sum_to_at_most_one() {
+        let _ = RmatConfig::new(4, 4).with_quadrants(0.6, 0.3, 0.2);
+    }
+}

@@ -1,0 +1,273 @@
+//! Vertex relabelings.
+//!
+//! Every reordering technique in `lgr-core` produces a [`Permutation`]:
+//! a bijection from *original* vertex IDs to *new* vertex IDs. Applying
+//! it to a graph relabels vertices (and therefore relocates their
+//! property-array slots in memory) without changing the graph itself.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::VertexId;
+
+/// Error returned when a vector of IDs is not a bijection over
+/// `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidPermutationError {
+    /// Human-readable description of the violation.
+    detail: String,
+}
+
+impl fmt::Display for InvalidPermutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid permutation: {}", self.detail)
+    }
+}
+
+impl Error for InvalidPermutationError {}
+
+/// A bijection `original ID -> new ID` over a contiguous ID space.
+///
+/// # Example
+///
+/// ```
+/// use lgr_graph::Permutation;
+///
+/// // Move vertex 2 to the front: 2 -> 0, 0 -> 1, 1 -> 2.
+/// let perm = Permutation::from_new_ids(vec![1, 2, 0]).unwrap();
+/// assert_eq!(perm.new_id(2), 0);
+/// assert_eq!(perm.original_id(0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    /// `new_ids[original] = new`.
+    new_ids: Vec<VertexId>,
+}
+
+impl Permutation {
+    /// The identity permutation over `len` vertices.
+    pub fn identity(len: usize) -> Self {
+        Permutation {
+            new_ids: (0..len as VertexId).collect(),
+        }
+    }
+
+    /// Builds a permutation from a mapping `new_ids[original] = new`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPermutationError`] if the vector is not a
+    /// bijection over `0..new_ids.len()`.
+    pub fn from_new_ids(new_ids: Vec<VertexId>) -> Result<Self, InvalidPermutationError> {
+        let n = new_ids.len();
+        let mut seen = vec![false; n];
+        for (orig, &new) in new_ids.iter().enumerate() {
+            let idx = new as usize;
+            if idx >= n {
+                return Err(InvalidPermutationError {
+                    detail: format!("vertex {orig} maps to {new}, out of range for {n}"),
+                });
+            }
+            if seen[idx] {
+                return Err(InvalidPermutationError {
+                    detail: format!("new ID {new} assigned twice"),
+                });
+            }
+            seen[idx] = true;
+        }
+        Ok(Permutation { new_ids })
+    }
+
+    /// Builds a permutation from the *order* in which original vertices
+    /// should be laid out: `order[i]` is the original ID that receives
+    /// new ID `i`.
+    ///
+    /// This is the natural output shape of grouping/sorting techniques.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPermutationError`] if `order` is not a
+    /// bijection.
+    pub fn from_order(order: &[VertexId]) -> Result<Self, InvalidPermutationError> {
+        let n = order.len();
+        let mut new_ids = vec![VertexId::MAX; n];
+        for (new, &orig) in order.iter().enumerate() {
+            let idx = orig as usize;
+            if idx >= n {
+                return Err(InvalidPermutationError {
+                    detail: format!("original ID {orig} out of range for {n}"),
+                });
+            }
+            if new_ids[idx] != VertexId::MAX {
+                return Err(InvalidPermutationError {
+                    detail: format!("original ID {orig} appears twice in order"),
+                });
+            }
+            new_ids[idx] = new as VertexId;
+        }
+        Ok(Permutation { new_ids })
+    }
+
+    /// Number of vertices in the ID space.
+    pub fn len(&self) -> usize {
+        self.new_ids.len()
+    }
+
+    /// `true` if the ID space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.new_ids.is_empty()
+    }
+
+    /// New ID assigned to `original`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` is out of range.
+    #[inline]
+    pub fn new_id(&self, original: VertexId) -> VertexId {
+        self.new_ids[original as usize]
+    }
+
+    /// The full `original -> new` mapping as a slice.
+    pub fn new_ids(&self) -> &[VertexId] {
+        &self.new_ids
+    }
+
+    /// Original ID that was assigned `new`. O(n) the first time you need
+    /// the full inverse; prefer [`Permutation::inverse`] for bulk use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new` is out of range.
+    pub fn original_id(&self, new: VertexId) -> VertexId {
+        self.new_ids
+            .iter()
+            .position(|&x| x == new)
+            .map(|i| i as VertexId)
+            .expect("new ID out of range")
+    }
+
+    /// The inverse mapping `new -> original`.
+    pub fn inverse(&self) -> Vec<VertexId> {
+        let mut inv = vec![0 as VertexId; self.new_ids.len()];
+        for (orig, &new) in self.new_ids.iter().enumerate() {
+            inv[new as usize] = orig as VertexId;
+        }
+        inv
+    }
+
+    /// Composes `self` then `other`: the returned permutation maps
+    /// `v -> other.new_id(self.new_id(v))`.
+    ///
+    /// Used for layered reordering such as Gorder+DBG (Sec. VII of the
+    /// paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two permutations have different lengths.
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "composing permutations of different lengths");
+        let new_ids = self
+            .new_ids
+            .iter()
+            .map(|&mid| other.new_id(mid))
+            .collect();
+        Permutation { new_ids }
+    }
+
+    /// `true` if this is the identity mapping.
+    pub fn is_identity(&self) -> bool {
+        self.new_ids
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| i as VertexId == v)
+    }
+
+    /// Fraction of vertices whose predecessor in the new layout was also
+    /// their predecessor in the original layout (a cheap structure
+    /// preservation metric: 1.0 = order fully preserved locally).
+    pub fn adjacency_preservation(&self) -> f64 {
+        if self.len() < 2 {
+            return 1.0;
+        }
+        let inv = self.inverse();
+        let mut preserved = 0usize;
+        for w in inv.windows(2) {
+            if w[1] == w[0].wrapping_add(1) {
+                preserved += 1;
+            }
+        }
+        preserved as f64 / (self.len() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_to_self() {
+        let p = Permutation::identity(5);
+        assert!(p.is_identity());
+        assert_eq!(p.new_id(3), 3);
+        assert_eq!(p.adjacency_preservation(), 1.0);
+    }
+
+    #[test]
+    fn from_new_ids_rejects_duplicates() {
+        assert!(Permutation::from_new_ids(vec![0, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn from_new_ids_rejects_out_of_range() {
+        let err = Permutation::from_new_ids(vec![0, 3, 1]).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn from_order_round_trips() {
+        // Lay out original vertices in order [2, 0, 1].
+        let p = Permutation::from_order(&[2, 0, 1]).unwrap();
+        assert_eq!(p.new_id(2), 0);
+        assert_eq!(p.new_id(0), 1);
+        assert_eq!(p.new_id(1), 2);
+        assert_eq!(p.inverse(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn from_order_rejects_duplicates() {
+        assert!(Permutation::from_order(&[1, 1, 0]).is_err());
+    }
+
+    #[test]
+    fn inverse_is_involutive() {
+        let p = Permutation::from_new_ids(vec![3, 1, 0, 2]).unwrap();
+        let inv = p.inverse();
+        let q = Permutation::from_new_ids(inv).unwrap();
+        assert_eq!(q.inverse(), p.new_ids());
+    }
+
+    #[test]
+    fn composition_applies_left_to_right() {
+        let first = Permutation::from_new_ids(vec![1, 2, 0]).unwrap();
+        let second = Permutation::from_new_ids(vec![2, 0, 1]).unwrap();
+        let composed = first.then(&second);
+        for v in 0..3 {
+            assert_eq!(composed.new_id(v), second.new_id(first.new_id(v)));
+        }
+    }
+
+    #[test]
+    fn adjacency_preservation_zero_for_reversal_pairs() {
+        // Reversal: no vertex keeps its original predecessor.
+        let p = Permutation::from_new_ids(vec![3, 2, 1, 0]).unwrap();
+        assert_eq!(p.adjacency_preservation(), 0.0);
+    }
+
+    #[test]
+    fn original_id_scans() {
+        let p = Permutation::from_new_ids(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.original_id(2), 0);
+        assert_eq!(p.original_id(0), 1);
+    }
+}

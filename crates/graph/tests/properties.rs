@@ -1,0 +1,125 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+
+use lgr_graph::gen::{self, CommunityConfig, RmatConfig, RoadConfig};
+use lgr_graph::stats::{DegreeRangeDist, SkewStats};
+use lgr_graph::{average_degree, Csr, EdgeList, Permutation};
+
+fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..n as u32, 0..n as u32), 0..300)
+}
+
+proptest! {
+    /// Degrees always sum to the edge count, both directions.
+    #[test]
+    fn degree_sums(edges in arb_edges(40)) {
+        let el = EdgeList::from_parts(40, edges, None);
+        let g = Csr::from_edge_list(&el);
+        let out: u64 = g.out_degrees().iter().map(|&d| d as u64).sum();
+        let inn: u64 = g.in_degrees().iter().map(|&d| d as u64).sum();
+        prop_assert_eq!(out, el.num_edges() as u64);
+        prop_assert_eq!(inn, el.num_edges() as u64);
+    }
+
+    /// Neighbor lists partition the edge set: every edge appears in
+    /// exactly one out-list and one in-list.
+    #[test]
+    fn adjacency_partitions_edges(edges in arb_edges(30)) {
+        let el = EdgeList::from_parts(30, edges, None);
+        let g = Csr::from_edge_list(&el);
+        let mut from_out: Vec<(u32, u32)> = Vec::new();
+        let mut from_in: Vec<(u32, u32)> = Vec::new();
+        for v in 0..30u32 {
+            for &u in g.out_neighbors(v) {
+                from_out.push((v, u));
+            }
+            for &u in g.in_neighbors(v) {
+                from_in.push((u, v));
+            }
+        }
+        from_out.sort_unstable();
+        from_in.sort_unstable();
+        prop_assert_eq!(&from_out, &from_in);
+        let mut orig = el.edges().to_vec();
+        orig.sort_unstable();
+        prop_assert_eq!(from_out, orig);
+    }
+
+    /// Applying any permutation then its inverse restores the CSR.
+    #[test]
+    fn permutation_apply_is_invertible(edges in arb_edges(25), seed in 0u64..500) {
+        let el = EdgeList::from_parts(25, edges, None);
+        let g = Csr::from_edge_list(&el);
+        let p = gen::random_permutation(25, seed);
+        let inv = Permutation::from_new_ids(p.inverse()).unwrap();
+        let round = g.apply_permutation(&p).apply_permutation(&inv);
+        prop_assert_eq!(g, round);
+    }
+
+    /// Relabeling commutes with CSR construction.
+    #[test]
+    fn relabel_commutes_with_csr(edges in arb_edges(20), seed in 0u64..500) {
+        let el = EdgeList::from_parts(20, edges, None);
+        let p = gen::random_permutation(20, seed);
+        let via_el = Csr::from_edge_list(&el.relabel(&p));
+        let via_csr = Csr::from_edge_list(&el).apply_permutation(&p);
+        prop_assert_eq!(via_el, via_csr);
+    }
+
+    /// Skew stats are scale-invariant sanity: fractions in [0, 1] and
+    /// hot coverage at least the hot fraction (hot vertices have
+    /// above-average degree by definition).
+    #[test]
+    fn skew_stats_bounds(degrees in proptest::collection::vec(0u32..1000, 1..200)) {
+        let s = SkewStats::from_degrees(&degrees);
+        prop_assert!((0.0..=1.0).contains(&s.hot_vertex_fraction));
+        prop_assert!((0.0..=1.0).contains(&s.edge_coverage));
+        if degrees.iter().any(|&d| d > 0) {
+            prop_assert!(s.edge_coverage >= s.hot_vertex_fraction - 1e-9,
+                "coverage {} < fraction {}", s.edge_coverage, s.hot_vertex_fraction);
+        }
+    }
+
+    /// Degree-range buckets cover every hot vertex exactly once.
+    #[test]
+    fn degree_range_dist_is_partition(
+        degrees in proptest::collection::vec(0u32..500, 1..300),
+        buckets in 1usize..8,
+    ) {
+        let dist = DegreeRangeDist::compute(&degrees, buckets, 8);
+        let total: f64 = dist.buckets.iter().map(|b| b.hot_fraction).sum();
+        let avg = average_degree(&degrees);
+        let hot = degrees.iter().filter(|&&d| d as f64 >= avg).count();
+        if hot > 0 {
+            prop_assert!((total - 1.0).abs() < 1e-9, "fractions sum to {total}");
+        }
+    }
+
+    /// Generators honor their vertex-count contracts for arbitrary
+    /// parameters.
+    #[test]
+    fn generators_honor_sizes(scale in 4u32..9, ef in 1usize..6, seed in 0u64..100) {
+        let r = gen::rmat(RmatConfig::new(scale, ef).with_seed(seed));
+        prop_assert_eq!(r.num_vertices(), 1 << scale);
+        prop_assert_eq!(r.num_edges(), (1 << scale) * ef);
+
+        let c = gen::community(CommunityConfig::new(1 << scale, ef as f64).with_seed(seed));
+        prop_assert_eq!(c.num_vertices(), 1 << scale);
+
+        let g = gen::road_grid(RoadConfig::new(1 << (scale / 2), 1 << (scale / 2)).with_seed(seed));
+        prop_assert_eq!(g.num_vertices(), 1 << (2 * (scale / 2)));
+    }
+
+    /// Weight attachment preserves the edge list and stays in range.
+    #[test]
+    fn weights_in_range(edges in arb_edges(20), max_w in 1u32..100, seed in 0u64..100) {
+        let mut el = EdgeList::from_parts(20, edges, None);
+        let before = el.edges().to_vec();
+        el.randomize_weights(max_w, seed);
+        prop_assert_eq!(el.edges(), before.as_slice());
+        if let Some(ws) = el.weights() {
+            prop_assert!(ws.iter().all(|&w| (1..=max_w).contains(&w)));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Head-to-head comparison of every reordering technique on one
+//! dataset: reordering cost, structure preservation, and simulated
+//! PageRank speedup — a miniature of the paper's main evaluation.
+//!
+//! ```text
+//! cargo run --release --example reorder_compare [dataset]
+//! ```
+
+use std::time::Instant;
+
+use graph_reorder::graph::datasets::{build, DatasetId, DatasetScale};
+use graph_reorder::prelude::*;
+use graph_reorder::reorder::{HubClusterOriginal, HubSortOriginal, RandomVertex};
+use lgr_analytics::apps::pagerank::{pagerank_with_arrays, PrArrays};
+use lgr_cachesim::layout::MemoryLayout;
+
+fn simulated_pr_cycles(graph: &Csr) -> u64 {
+    let mut layout = MemoryLayout::new();
+    let arrays = PrArrays::register(&mut layout, graph);
+    let mut sim = MemorySim::new(SimConfig::default(), layout);
+    let cfg = PrConfig {
+        max_iters: 3,
+        tolerance: 0.0,
+        ..Default::default()
+    };
+    pagerank_with_arrays(graph, &cfg, &arrays, &mut sim);
+    sim.stats().cycles
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mp".to_owned());
+    let Some(id) = DatasetId::from_name(&name) else {
+        eprintln!("unknown dataset {name}");
+        std::process::exit(1);
+    };
+    let scale = DatasetScale::with_sd_vertices(1 << 16);
+    println!("dataset '{}' at sd=2^16 scale...", id.name());
+    let el = build(id, scale);
+    let graph = Csr::from_edge_list(&el);
+    println!(
+        "  {} vertices, {} edges\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let base_cycles = simulated_pr_cycles(&graph);
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>10}",
+        "technique", "reorder(ms)", "PR cycles", "speedup", "preserved"
+    );
+    println!("{}", "-".repeat(64));
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>10}",
+        "Original", "-", base_cycles, "-", "100%"
+    );
+
+    let techniques: Vec<(&str, Box<dyn ReorderingTechnique>)> = vec![
+        ("Sort", Box::new(Sort::new())),
+        ("HubSort", Box::new(HubSort::new())),
+        ("HubSort-O", Box::new(HubSortOriginal::new())),
+        ("HubCluster", Box::new(HubCluster::new())),
+        ("HubCluster-O", Box::new(HubClusterOriginal::new())),
+        ("DBG", Box::new(Dbg::default())),
+        ("RV", Box::new(RandomVertex::new(7))),
+        ("Gorder", Box::new(Gorder::new())),
+    ];
+    for (name, t) in &techniques {
+        let start = Instant::now();
+        let perm = t.reorder(&graph, DegreeKind::Out);
+        let reorder_ms = start.elapsed().as_secs_f64() * 1e3;
+        let reordered = graph.apply_permutation(&perm);
+        let cycles = simulated_pr_cycles(&reordered);
+        println!(
+            "{name:<14} {reorder_ms:>12.1} {cycles:>12} {:>9.1}% {:>9.0}%",
+            (base_cycles as f64 / cycles as f64 - 1.0) * 100.0,
+            perm.adjacency_preservation() * 100.0
+        );
+    }
+    println!("\nNote how Gorder's reordering time dwarfs the skew-aware techniques,");
+    println!("and how DBG combines low cost, high preservation, and high speedup.");
+}

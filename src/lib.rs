@@ -1,0 +1,58 @@
+//! # graph-reorder
+//!
+//! A production-quality Rust implementation of **lightweight
+//! skew-aware graph reordering**, reproducing *Faldu, Diamond & Grot,
+//! "A Closer Look at Lightweight Graph Reordering" (IISWC 2019)* —
+//! including the paper's contribution, **Degree-Based Grouping (DBG)**,
+//! every baseline technique it characterizes, the five graph
+//! applications of its evaluation, and a cache-hierarchy simulator
+//! that stands in for its hardware-counter methodology.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`graph`] (`lgr-graph`) — CSR graphs, generators, dataset
+//!   analogues, skew statistics.
+//! * [`reorder`] (`lgr-core`) — DBG, Sort, HubSort, HubCluster,
+//!   Gorder, random probes, and the generalized grouping framework.
+//! * [`analytics`] (`lgr-analytics`) — the Ligra-style engine and the
+//!   PR / PRD / BC / SSSP / Radii applications.
+//! * [`cachesim`] (`lgr-cachesim`) — the trace-driven multi-core
+//!   cache simulator (MPKI, snoop classification, cycle model).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use graph_reorder::prelude::*;
+//!
+//! // 1. A skewed graph whose ordering carries community structure.
+//! let el = gen::community(gen::CommunityConfig::new(1 << 12, 12.0).with_seed(7));
+//! let graph = Csr::from_edge_list(&el);
+//!
+//! // 2. Reorder with Degree-Based Grouping.
+//! let perm = Dbg::default().reorder(&graph, DegreeKind::Out);
+//! let reordered = graph.apply_permutation(&perm);
+//!
+//! // 3. Run PageRank on the reordered graph.
+//! let pr = pagerank(&reordered, &PrConfig::default(), &mut NullTracer);
+//! assert_eq!(pr.ranks.len(), graph.num_vertices());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use lgr_analytics as analytics;
+pub use lgr_cachesim as cachesim;
+pub use lgr_core as reorder;
+pub use lgr_graph as graph;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use lgr_analytics::apps::{
+        bc, pagerank, pagerank_delta, radii, sssp, AppId, BcConfig, PrConfig, PrdConfig,
+        RadiiConfig, SsspConfig,
+    };
+    pub use lgr_cachesim::{MemorySim, NullTracer, SimConfig, Tracer};
+    pub use lgr_core::{
+        Dbg, Gorder, HubCluster, HubSort, Identity, ReorderingTechnique, Sort, TechniqueId,
+    };
+    pub use lgr_graph::{gen, Csr, DegreeKind, EdgeList, Permutation};
+}
