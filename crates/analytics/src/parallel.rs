@@ -61,8 +61,7 @@ pub fn par_pagerank(graph: &Csr, cfg: &PrConfig, threads: usize) -> Vec<f64> {
                         let v = (offset + i) as VertexId;
                         let mut sum = 0.0f64;
                         for &u in graph.in_neighbors(v) {
-                            sum += prev_ref[u as usize]
-                                / graph.out_degree(u).max(1) as f64;
+                            sum += prev_ref[u as usize] / graph.out_degree(u).max(1) as f64;
                         }
                         *out = base + dangling_share + cfg.damping * sum;
                     }

@@ -5,9 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use lgr_core::{
-    Dbg, Gorder, HubCluster, HubSort, RandomVertex, ReorderingTechnique, Sort,
-};
+use lgr_core::{Dbg, Gorder, HubCluster, HubSort, RandomVertex, ReorderingTechnique, Sort};
 use lgr_graph::datasets::{build, DatasetId, DatasetScale};
 use lgr_graph::{Csr, DegreeKind};
 

@@ -22,28 +22,44 @@ use lgr_bench::{Harness, HarnessConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = HarnessConfig::default();
+    // Collect flags first, then build the config, so the outcome does
+    // not depend on argument order (`--roots 4 --quick` must not have
+    // `--quick` clobber the roots override).
+    let mut quick = false;
+    let mut verbose = false;
+    let mut scale_exp: Option<u32> = None;
+    let mut roots: Option<usize> = None;
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--quick" => cfg = HarnessConfig::quick(),
-            "--verbose" | "-v" => cfg.verbose = true,
+            "--quick" => quick = true,
+            "--verbose" | "-v" => verbose = true,
             "--scale" => match iter.next().and_then(|s| s.parse::<u32>().ok()) {
-                Some(exp) if (8..=24).contains(&exp) => cfg = cfg.with_scale_exp(exp),
+                Some(exp) if (8..=24).contains(&exp) => scale_exp = Some(exp),
                 _ => return usage("--scale needs an exponent in 8..=24"),
             },
             "--roots" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => cfg.roots = n,
+                Some(n) if n >= 1 => roots = Some(n),
                 _ => return usage("--roots needs a positive integer"),
             },
             "--help" | "-h" => return usage(""),
-            other if other.starts_with('-') => {
-                return usage(&format!("unknown option {other}"))
-            }
+            other if other.starts_with('-') => return usage(&format!("unknown option {other}")),
             other => names.push(other.to_owned()),
         }
     }
+    let mut cfg = if quick {
+        HarnessConfig::quick()
+    } else {
+        HarnessConfig::default()
+    };
+    if let Some(exp) = scale_exp {
+        cfg = cfg.with_scale_exp(exp);
+    }
+    if let Some(n) = roots {
+        cfg.roots = n;
+    }
+    cfg.verbose = verbose;
 
     if names.iter().any(|n| n == "list") {
         for e in experiments::ALL {
@@ -74,7 +90,11 @@ fn main() -> ExitCode {
         let start = Instant::now();
         let report = (e.run)(&harness);
         println!("{report}");
-        eprintln!("[repro] {} done in {:.1}s", e.name, start.elapsed().as_secs_f64());
+        eprintln!(
+            "[repro] {} done in {:.1}s",
+            e.name,
+            start.elapsed().as_secs_f64()
+        );
     }
     ExitCode::SUCCESS
 }

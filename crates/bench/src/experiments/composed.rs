@@ -12,7 +12,11 @@ use crate::{Harness, TextTable};
 /// +17.2% for Gorder+DBG vs +18.6% for Gorder alone across the 40
 /// datapoints).
 pub fn run(h: &Harness) -> String {
-    let techniques = [TechniqueId::Dbg, TechniqueId::Gorder, TechniqueId::GorderDbg];
+    let techniques = [
+        TechniqueId::Dbg,
+        TechniqueId::Gorder,
+        TechniqueId::GorderDbg,
+    ];
     let mut header = vec!["dataset"];
     header.extend(techniques.iter().map(|t| t.name()));
     let mut t = TextTable::new(

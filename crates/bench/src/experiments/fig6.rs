@@ -75,7 +75,9 @@ fn summary(h: &Harness) -> String {
             format!("{:+.1}", collect(&DatasetId::STRUCTURED)),
         ]);
     }
-    t.note("paper: DBG +16.8% overall vs Sort +8.4%, HubSort +7.9%, HubCluster +11.6%, Gorder +18.6%");
+    t.note(
+        "paper: DBG +16.8% overall vs Sort +8.4%, HubSort +7.9%, HubCluster +11.6%, Gorder +18.6%",
+    );
     t.note("paper: on structured datasets Sort/HubSort go NEGATIVE while DBG stays positive");
     t.to_string()
 }

@@ -55,10 +55,13 @@ impl Default for HarnessConfig {
 }
 
 impl HarnessConfig {
-    /// A tiny configuration for smoke tests and CI.
+    /// A tiny configuration for smoke tests and CI. The scale is
+    /// chosen so `repro --quick all` finishes in well under a minute
+    /// even in debug builds (the full suite simulates every app on
+    /// every dataset).
     pub fn quick() -> Self {
         HarnessConfig {
-            scale: DatasetScale::with_sd_vertices(1 << 13),
+            scale: DatasetScale::with_sd_vertices(1 << 11),
             roots: 1,
             pr_iters: 2,
             prd_iters: 3,
@@ -260,17 +263,18 @@ impl Harness {
     ) -> (Rc<Csr>, Vec<VertexId>) {
         // Radii needs its 64 BFS sources fixed in *logical* vertex
         // terms so every ordering computes the same problem.
-        let count = if app == AppId::Radii { 64 } else { self.cfg.roots };
+        let count = if app == AppId::Radii {
+            64
+        } else {
+            self.cfg.roots
+        };
         let roots = self.roots(ds, count);
         match tech {
             None => (Rc::clone(base), roots),
             Some(t) => {
                 let timed = self.reorder(ds, t, app.reorder_degree());
                 let g = Rc::new(base.apply_permutation(&timed.permutation));
-                let mapped = roots
-                    .iter()
-                    .map(|&r| timed.permutation.new_id(r))
-                    .collect();
+                let mapped = roots.iter().map(|&r| timed.permutation.new_id(r)).collect();
                 (g, mapped)
             }
         }
@@ -323,7 +327,10 @@ impl Harness {
                 let arrays = SsspArrays::register(&mut layout, graph);
                 let mut sim = MemorySim::new(self.cfg.sim, layout);
                 for &r in roots {
-                    let cfg = SsspConfig { cores, ..SsspConfig::from_root(r) };
+                    let cfg = SsspConfig {
+                        cores,
+                        ..SsspConfig::from_root(r)
+                    };
                     sssp_with_arrays(graph, &cfg, &arrays, &mut sim);
                 }
                 *sim.stats()
@@ -359,7 +366,10 @@ impl Harness {
             }
             AppId::Sssp => {
                 for &r in roots {
-                    let cfg = SsspConfig { cores, ..SsspConfig::from_root(r) };
+                    let cfg = SsspConfig {
+                        cores,
+                        ..SsspConfig::from_root(r)
+                    };
                     lgr_analytics::apps::sssp(graph, &cfg, &mut t);
                 }
             }

@@ -1,0 +1,56 @@
+//! Smoke tests for the `repro` binary: the full experiment suite must
+//! run to completion at the CI scale, and the CLI must reject
+//! malformed invocations.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn quick_all_exits_zero() {
+    let out = repro()
+        .args(["--quick", "all"])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "repro --quick all failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Every experiment prints a report header; spot-check the span of
+    // the suite from the first table to the last figure.
+    for needle in ["Table I", "Fig. 6", "Fig. 11", "Table XII"] {
+        assert!(stdout.contains(needle), "missing {needle} in output");
+    }
+}
+
+#[test]
+fn list_names_every_experiment() {
+    let out = repro().arg("list").output().expect("spawn repro");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["table1", "fig6", "fig8", "fig11", "composed"] {
+        assert!(stdout.contains(name), "missing experiment {name}");
+    }
+}
+
+#[test]
+fn unknown_experiment_is_an_error() {
+    let out = repro()
+        .arg("no_such_experiment")
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn bad_scale_is_an_error() {
+    let out = repro()
+        .args(["--scale", "99", "fig6"])
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success());
+}

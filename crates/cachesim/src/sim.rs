@@ -64,7 +64,10 @@ impl MemorySim {
     /// directory stores sharer sets as 16-bit masks) or if cores do not
     /// divide evenly across sockets.
     pub fn new(config: SimConfig, layout: MemoryLayout) -> Self {
-        assert!(config.cores >= 1 && config.cores <= 16, "1..=16 cores supported");
+        assert!(
+            config.cores >= 1 && config.cores <= 16,
+            "1..=16 cores supported"
+        );
         let _ = config.cores_per_socket(); // validates divisibility
         let num_blocks = (layout.total_bytes() / BLOCK_BYTES + 2) as usize;
         MemorySim {
@@ -238,7 +241,13 @@ impl MemorySim {
 
     /// Classifies and serves an L2 miss: local dirty holder → snoop;
     /// local LLC → L3 hit; remote holder/LLC → remote snoop; else DRAM.
-    fn serve_l2_miss(&mut self, core: usize, block: u64, dir_idx: usize, write: bool) -> ServePoint {
+    fn serve_l2_miss(
+        &mut self,
+        core: usize,
+        block: u64,
+        dir_idx: usize,
+        write: bool,
+    ) -> ServePoint {
         self.stats.l3.accesses += 1;
         let my_socket = self.config.socket_of(core);
         let entry = self.directory[dir_idx];

@@ -33,8 +33,7 @@ fn traversal_order(
     let mut visited = vec![false; n];
     let mut order: Vec<VertexId> = Vec::with_capacity(n);
     let mut queue: VecDeque<VertexId> = VecDeque::new();
-    let degree =
-        |v: VertexId| graph.out_degree(v) as u64 + graph.in_degree(v) as u64;
+    let degree = |v: VertexId| graph.out_degree(v) as u64 + graph.in_degree(v) as u64;
 
     for &seed in seed_order {
         if visited[seed as usize] {

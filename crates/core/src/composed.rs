@@ -56,8 +56,8 @@ impl<A: ReorderingTechnique, B: ReorderingTechnique> ReorderingTechnique for Com
 mod tests {
     use super::*;
     use crate::framework::hot_threshold;
-    use lgr_graph::gen::{community, CommunityConfig};
     use lgr_graph::average_degree;
+    use lgr_graph::gen::{community, CommunityConfig};
 
     #[test]
     fn composition_matches_manual_layering() {

@@ -284,8 +284,9 @@ mod tests {
         let degrees = [1, 11, 2, 3, 10, 0, 99, 4];
         let spec = GroupingSpec::new(vec![10, 0]).unwrap();
         let perm = group_reorder(&degrees, &spec);
-        let layout = perm.inverse(); // new slot -> original vertex
-        // Hot vertices first, in original relative order; then cold.
+        // layout: new slot -> original vertex. Hot vertices first, in
+        // original relative order; then cold.
+        let layout = perm.inverse();
         assert_eq!(layout, vec![1, 4, 6, 0, 2, 3, 5, 7]);
     }
 

@@ -66,7 +66,9 @@ impl BucketQueue {
             if self.max_score == 0 {
                 return None;
             }
-            let v = self.buckets[self.max_score].pop().expect("non-empty bucket");
+            let v = self.buckets[self.max_score]
+                .pop()
+                .expect("non-empty bucket");
             if placed[v as usize] {
                 continue;
             }

@@ -273,9 +273,7 @@ impl ReorderingTechnique for HubClusterOriginal {
         let mut start = 0usize;
         while start < n {
             let end = (start + chunk).min(n);
-            order.extend(
-                (start as u32..end as u32).filter(|&v| degrees[v as usize] >= threshold),
-            );
+            order.extend((start as u32..end as u32).filter(|&v| degrees[v as usize] >= threshold));
             order.extend((start as u32..end as u32).filter(|&v| degrees[v as usize] < threshold));
             start = end;
         }
@@ -319,7 +317,11 @@ mod tests {
         // out degrees: [1, 2, 1, 4, 0, 0], avg = 8/6 = 1.33 -> threshold 2.
         let p = HubCluster::new().reorder(&g, DegreeKind::Out);
         let layout = p.inverse();
-        assert_eq!(&layout[..2], &[1, 3], "hot vertices in original order first");
+        assert_eq!(
+            &layout[..2],
+            &[1, 3],
+            "hot vertices in original order first"
+        );
         assert_eq!(&layout[2..], &[0, 2, 4, 5], "cold order preserved");
     }
 
@@ -347,7 +349,10 @@ mod tests {
             .iter()
             .map(|&v| spec.group_of(degrees[v as usize]))
             .collect();
-        assert!(groups.windows(2).all(|w| w[0] <= w[1]), "groups: {groups:?}");
+        assert!(
+            groups.windows(2).all(|w| w[0] <= w[1]),
+            "groups: {groups:?}"
+        );
         let _ = h;
     }
 
@@ -395,8 +400,11 @@ mod tests {
         let g = Csr::from_edge_list(&el);
         let p = HubClusterOriginal::new().reorder(&g, DegreeKind::Out);
         let layout = p.inverse();
-        assert_eq!(layout, (0..16).collect::<Vec<u32>>().as_slice(),
-            "alternating hot/cold with chunk size 2 keeps original layout");
+        assert_eq!(
+            layout,
+            (0..16).collect::<Vec<u32>>().as_slice(),
+            "alternating hot/cold with chunk size 2 keeps original layout"
+        );
 
         // The framework HubCluster, by contrast, makes hot globally
         // contiguous.

@@ -16,6 +16,10 @@ fn arb_graph() -> impl Strategy<Value = Csr> {
 }
 
 proptest! {
+    // Case budget: ProptestConfig's default (64 in the workspace shim,
+    // CI-friendly); set PROPTEST_CASES=<n> for deeper local soak runs.
+    #![proptest_config(ProptestConfig::default())]
+
     /// Table V equivalence, checked exhaustively: HubCluster computed
     /// directly equals the grouping framework with the two-group spec,
     /// and Sort equals the per-degree spec.

@@ -188,10 +188,7 @@ impl Csr {
     /// weighted.
     #[inline]
     pub fn out_weights(&self, v: VertexId) -> Option<&[Weight]> {
-        self.out
-            .weights
-            .as_ref()
-            .map(|w| &w[self.out.range(v)])
+        self.out.weights.as_ref().map(|w| &w[self.out.range(v)])
     }
 
     /// Weights parallel to [`Csr::in_neighbors`], if the graph is

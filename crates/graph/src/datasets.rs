@@ -319,7 +319,11 @@ mod tests {
         }
         let uni = build(DatasetId::Uni, scale);
         let s = SkewStats::from_degrees(&uni.out_degrees());
-        assert!(s.hot_vertex_fraction > 0.3, "uni skewed: {}", s.hot_vertex_fraction);
+        assert!(
+            s.hot_vertex_fraction > 0.3,
+            "uni skewed: {}",
+            s.hot_vertex_fraction
+        );
     }
 
     #[test]

@@ -100,7 +100,10 @@ impl EdgeList {
             (src as usize) < self.num_vertices && (dst as usize) < self.num_vertices,
             "edge ({src}, {dst}) out of range"
         );
-        assert!(self.weights.is_none(), "pushing unweighted edge into weighted list");
+        assert!(
+            self.weights.is_none(),
+            "pushing unweighted edge into weighted list"
+        );
         self.edges.push((src, dst));
     }
 
@@ -118,7 +121,10 @@ impl EdgeList {
         let weights = match &mut self.weights {
             Some(w) => w,
             None => {
-                assert!(self.edges.is_empty(), "pushing weighted edge into unweighted list");
+                assert!(
+                    self.edges.is_empty(),
+                    "pushing weighted edge into unweighted list"
+                );
                 self.weights = Some(Vec::new());
                 self.weights.as_mut().unwrap()
             }

@@ -273,7 +273,10 @@ mod tests {
         g.apply(&batch);
         let after = g.out_degrees();
         let overlap = hot_set_overlap(&before, &after);
-        assert!(overlap > 0.8, "hot set overlap {overlap} too low after 5% churn");
+        assert!(
+            overlap > 0.8,
+            "hot set overlap {overlap} too low after 5% churn"
+        );
     }
 
     #[test]

@@ -161,8 +161,7 @@ pub fn community(cfg: CommunityConfig) -> EdgeList {
         .windows(2)
         .map(|w| {
             let (start, end) = (w[0], w[1]);
-            let t = AliasTable::new(&attract[start..end])
-                .expect("community weights are positive");
+            let t = AliasTable::new(&attract[start..end]).expect("community weights are positive");
             (start, t)
         })
         .collect();
@@ -301,7 +300,7 @@ fn scaled_degrees(
             let x = (w * scale).min(max_degree as f64);
             let base = x.floor();
             let frac = x - base;
-            
+
             base as u32 + u32::from(rng.gen::<f64>() < frac)
         })
         .collect()
@@ -330,7 +329,10 @@ mod tests {
     fn hits_target_average_degree() {
         let el = community(CommunityConfig::new(1 << 12, 10.0).with_seed(3));
         let avg = el.num_edges() as f64 / el.num_vertices() as f64;
-        assert!((avg - 10.0).abs() < 1.0, "average degree {avg} too far from 10");
+        assert!(
+            (avg - 10.0).abs() < 1.0,
+            "average degree {avg} too far from 10"
+        );
     }
 
     #[test]
@@ -363,7 +365,10 @@ mod tests {
             .filter(|&&(u, v)| (u as i64 - v as i64).unsigned_abs() < 2 * 256)
             .count() as f64
             / els.num_edges() as f64;
-        assert!(local_s < local / 2.0, "scrambled locality {local_s} vs {local}");
+        assert!(
+            local_s < local / 2.0,
+            "scrambled locality {local_s} vs {local}"
+        );
     }
 
     #[test]

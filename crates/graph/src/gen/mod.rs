@@ -112,12 +112,7 @@ mod tests {
         let half = partial_scramble_ids(&el, 0.5, 3);
         // Locality partially survives: more consecutive edges than a
         // full scramble, fewer than the original.
-        let consecutive = |e: &EdgeList| {
-            e.edges()
-                .iter()
-                .filter(|&&(u, v)| v == u + 1)
-                .count()
-        };
+        let consecutive = |e: &EdgeList| e.edges().iter().filter(|&&(u, v)| v == u + 1).count();
         let full = scramble_ids(&el, 3);
         assert!(consecutive(&half) > consecutive(&full));
         assert!(consecutive(&half) < consecutive(&el));

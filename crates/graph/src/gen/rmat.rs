@@ -177,11 +177,14 @@ mod tests {
         let el = rmat(RmatConfig::uniform(12, 16).with_seed(2));
         let degrees = el.out_degrees();
         let avg = average_degree(&degrees);
-        let hot_frac = degrees.iter().filter(|&&d| d as f64 >= avg).count() as f64
-            / degrees.len() as f64;
+        let hot_frac =
+            degrees.iter().filter(|&&d| d as f64 >= avg).count() as f64 / degrees.len() as f64;
         // Poisson-like distribution: roughly half the vertices sit at or
         // above the mean.
-        assert!(hot_frac > 0.35, "uniform graph unexpectedly skewed: {hot_frac}");
+        assert!(
+            hot_frac > 0.35,
+            "uniform graph unexpectedly skewed: {hot_frac}"
+        );
     }
 
     #[test]

@@ -166,12 +166,12 @@ impl Permutation {
     ///
     /// Panics if the two permutations have different lengths.
     pub fn then(&self, other: &Permutation) -> Permutation {
-        assert_eq!(self.len(), other.len(), "composing permutations of different lengths");
-        let new_ids = self
-            .new_ids
-            .iter()
-            .map(|&mid| other.new_id(mid))
-            .collect();
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "composing permutations of different lengths"
+        );
+        let new_ids = self.new_ids.iter().map(|&mid| other.new_id(mid)).collect();
         Permutation { new_ids }
     }
 

@@ -11,6 +11,10 @@ fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
 }
 
 proptest! {
+    // Case budget: ProptestConfig's default (64 in the workspace shim,
+    // CI-friendly); set PROPTEST_CASES=<n> for deeper local soak runs.
+    #![proptest_config(ProptestConfig::default())]
+
     /// Degrees always sum to the edge count, both directions.
     #[test]
     fn degree_sums(edges in arb_edges(40)) {

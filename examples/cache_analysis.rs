@@ -21,7 +21,11 @@ fn main() {
         std::process::exit(1);
     };
     let scale = DatasetScale::with_sd_vertices(1 << 17);
-    println!("building dataset '{}' (structured: {})...", id.name(), id.is_structured());
+    println!(
+        "building dataset '{}' (structured: {})...",
+        id.name(),
+        id.is_structured()
+    );
     let el = build(id, scale);
     let graph = Csr::from_edge_list(&el);
     println!(
@@ -58,7 +62,10 @@ fn main() {
 
     // Table IV: degree ranges among the hot vertices.
     let dist = DegreeRangeDist::compute(&degrees, 6, 8);
-    println!("\nhot-vertex degree distribution (A = {:.1}):", dist.average_degree);
+    println!(
+        "\nhot-vertex degree distribution (A = {:.1}):",
+        dist.average_degree
+    );
     for b in &dist.buckets {
         let range = match b.upper_multiple {
             Some(u) => format!("[{}A, {}A)", b.lower_multiple, u),

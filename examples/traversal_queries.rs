@@ -41,7 +41,10 @@ fn main() {
     for &r in &roots {
         let res = sssp(&graph, &SsspConfig::from_root(r), &mut NullTracer);
         checksum_base = checksum_base.wrapping_add(
-            res.distances.iter().filter(|&&d| d != u64::MAX).sum::<u64>(),
+            res.distances
+                .iter()
+                .filter(|&&d| d != u64::MAX)
+                .sum::<u64>(),
         );
     }
     let base_time = t0.elapsed();
@@ -60,7 +63,10 @@ fn main() {
             &mut NullTracer,
         );
         checksum_dbg = checksum_dbg.wrapping_add(
-            res.distances.iter().filter(|&&d| d != u64::MAX).sum::<u64>(),
+            res.distances
+                .iter()
+                .filter(|&&d| d != u64::MAX)
+                .sum::<u64>(),
         );
     }
     let query_time = t2.elapsed();

@@ -1,0 +1,511 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, used because the build environment has no registry access.
+//!
+//! It implements the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(...)]` header),
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! * strategies for numeric ranges, tuples of strategies, [`Just`],
+//!   and [`collection::vec`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`].
+//!
+//! Differences from upstream: cases are sampled from a deterministic
+//! per-test RNG and failures are **not shrunk** — the failing inputs
+//! are printed as-is. Case count comes from
+//! [`ProptestConfig::cases`], overridable with the `PROPTEST_CASES`
+//! environment variable (the same knob upstream honors).
+
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// Deterministic RNG driving value generation (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `name` (and the
+    /// `PROPTEST_SEED` environment variable, for replaying).
+    pub fn for_test(name: &str) -> Self {
+        let mut state: u64 = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse().unwrap_or(0x5EED),
+            Err(_) => 0x5EED,
+        };
+        for b in name.bytes() {
+            state = state.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+        }
+        TestRng { state }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample below 0");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is violated.
+    Fail(String),
+    /// `prop_assume!` filtered this input out; try another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration, mirroring the upstream type's field names.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Maximum rejected (assumed-away) inputs before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    /// Upstream precedence: the `PROPTEST_CASES` environment variable
+    /// seeds the *default* case count (shim default 64; upstream 256),
+    /// while an explicit [`ProptestConfig::with_cases`] pins it.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config requiring exactly `cases` successful cases (not
+    /// overridable by `PROPTEST_CASES`, matching upstream).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// A recipe for generating values of `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy yielding a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Reinterpret the span through the same-width unsigned
+                // type before widening: a signed difference that wraps
+                // must zero-extend, not sign-extend.
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        // 24-bit construction: a full-precision f64 in [1-2^-25, 1)
+        // would round up to 1.0f32 and break the half-open bound.
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` whose length is uniform over `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual imports for writing property tests.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{:?}` == `{:?}`",
+                        __left, __right
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{:?}` == `{:?}`: {}",
+                        __left,
+                        __right,
+                        format!($($fmt)+)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if *__left == *__right {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{:?}` != `{:?}`",
+                        __left, __right
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Reject the current case (generate a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...)` block
+/// becomes a `#[test]` running [`ProptestConfig::cases`] random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let cases = config.cases;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < cases {
+                let mut __inputs = ::std::string::String::new();
+                let result: $crate::TestCaseResult = (|| {
+                    $(
+                        let __value = $crate::Strategy::generate(&($strat), &mut rng);
+                        {
+                            use ::core::fmt::Write as _;
+                            let _ = ::core::write!(
+                                __inputs,
+                                "\n    {} = {:?}",
+                                stringify!($pat),
+                                &__value
+                            );
+                        }
+                        let $pat = __value;
+                    )+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match result {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(why)) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many rejected inputs ({rejected}), last: {why}",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {} of {cases}: {msg}\ninputs:{}",
+                            stringify!($name),
+                            passed + 1,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Range strategies stay in bounds; tuple and vec strategies
+        /// compose.
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, v in crate::collection::vec((0u32..5, 0usize..9), 0..20)) {
+            prop_assert!((3..17).contains(&x));
+            for (a, b) in v {
+                prop_assert!(a < 5);
+                prop_assert!(b < 9);
+            }
+        }
+
+        /// `prop_assume` rejections are replaced by fresh cases.
+        #[test]
+        fn assume_filters(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        /// The config header parses and is honored.
+        #[test]
+        fn config_header(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_inputs() {
+        // No #[test] attribute on the inner fn: it is invoked by hand.
+        proptest! {
+            fn inner(x in 0u32..5) {
+                prop_assert!(x > 100, "impossible: {x}");
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn flat_map_and_map_compose() {
+        let strat = (2usize..10)
+            .prop_flat_map(|n| crate::collection::vec(0..n as u32, 1..n).prop_map(move |v| (n, v)));
+        let mut rng = crate::TestRng::for_test("compose");
+        for _ in 0..200 {
+            let (n, v) = strat.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < n);
+            assert!(v.iter().all(|&x| (x as usize) < n));
+        }
+    }
+}

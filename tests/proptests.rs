@@ -32,6 +32,10 @@ fn arb_weighted_graph() -> impl Strategy<Value = EdgeList> {
 }
 
 proptest! {
+    // Case budget: ProptestConfig's default (64 in the workspace shim,
+    // CI-friendly); set PROPTEST_CASES=<n> for deeper local soak runs.
+    #![proptest_config(ProptestConfig::default())]
+
     /// CSR round-trips through an edge list losslessly as a
     /// multigraph: the edge multiset is preserved, and one
     /// normalization pass (CSR groups edges by source) is idempotent.
