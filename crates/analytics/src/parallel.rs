@@ -4,33 +4,42 @@
 //! traced engine in [`crate::apps`] is sequential by design (the
 //! simulator needs a deterministic interleaving). This module provides
 //! genuinely parallel implementations of the two computation models —
-//! pull (PageRank) and push (SSSP) — built on `std::thread::scope`
-//! and atomics, for wall-clock experiments and as a cross-check that
-//! the sequential engine computes the same answers.
+//! pull (PageRank) and push (SSSP) — built on the persistent
+//! [`lgr_parallel::Pool`] and atomics, for wall-clock experiments and
+//! as a cross-check that the sequential engine computes the same
+//! answers.
+//!
+//! Workers are pooled: a PageRank run spawns its threads once and
+//! reuses them across every iteration, and the `*_with` variants let
+//! callers share one pool across many runs (the bench harness owns a
+//! single pool for its whole lifetime). Pull-mode work is divided by
+//! *edge mass*, not vertex count — after Sort or DBG reordering every
+//! heavy vertex sits in the first equal-vertex chunk, which would
+//! serialize the run on worker 0.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use lgr_parallel::{edge_balanced_ranges, even_ranges, par_fill_ranges, Pool};
 
 use lgr_graph::{Csr, VertexId};
 
 use crate::apps::sssp::UNREACHABLE;
 use crate::apps::{PrConfig, SsspConfig};
 
-/// Splits `0..n` into `threads` contiguous chunks.
-fn chunks(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
-    let t = threads.max(1);
-    let chunk = n.div_ceil(t).max(1);
-    (0..t)
-        .map(|i| (i * chunk).min(n)..((i + 1) * chunk).min(n))
-        .filter(|r| !r.is_empty())
-        .collect()
+/// Parallel pull-based PageRank on a freshly created pool of
+/// `threads` workers. Equivalent to [`crate::apps::pagerank`] (pull
+/// iterations have no write sharing, so the parallel version is
+/// deterministic).
+///
+/// Prefer [`par_pagerank_with`] when running repeatedly: it reuses a
+/// caller-owned pool instead of spawning per call.
+pub fn par_pagerank(graph: &Csr, cfg: &PrConfig, threads: usize) -> Vec<f64> {
+    par_pagerank_with(graph, cfg, &Pool::new(threads))
 }
 
-/// Parallel pull-based PageRank. Equivalent to
-/// [`crate::apps::pagerank`] (pull iterations have no write sharing,
-/// so the parallel version is deterministic).
-///
-/// `threads` worker threads are used; pass the machine's core count.
-pub fn par_pagerank(graph: &Csr, cfg: &PrConfig, threads: usize) -> Vec<f64> {
+/// Parallel pull-based PageRank on an existing worker pool. The pool's
+/// threads persist across iterations (and across calls).
+pub fn par_pagerank_with(graph: &Csr, cfg: &PrConfig, pool: &Pool) -> Vec<f64> {
     let n = graph.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -38,35 +47,25 @@ pub fn par_pagerank(graph: &Csr, cfg: &PrConfig, threads: usize) -> Vec<f64> {
     let mut prev = vec![1.0 / n as f64; n];
     let mut curr = vec![0.0f64; n];
     let base = (1.0 - cfg.damping) / n as f64;
+    // The dangling-vertex set is a property of the graph, not of the
+    // iteration: compute it once, then each iteration only sums the
+    // (usually short) list instead of re-scanning all V out-degrees.
+    let dangling: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| graph.out_degree(v) == 0)
+        .collect();
+    // Edge-balanced pull division (see module docs).
+    let ranges = edge_balanced_ranges(graph.in_offsets(), pool.threads());
 
     for _ in 0..cfg.max_iters {
-        let dangling: f64 = (0..n as VertexId)
-            .filter(|&v| graph.out_degree(v) == 0)
-            .map(|v| prev[v as usize])
-            .sum();
-        let dangling_share = cfg.damping * dangling / n as f64;
-
-        // Each worker owns a disjoint slice of `curr`.
+        let dangling_sum: f64 = dangling.iter().map(|&v| prev[v as usize]).sum();
+        let dangling_share = cfg.damping * dangling_sum / n as f64;
         let prev_ref = &prev;
-        std::thread::scope(|scope| {
-            let mut rest: &mut [f64] = &mut curr;
-            let mut start = 0usize;
-            for range in chunks(n, threads) {
-                let (mine, tail) = rest.split_at_mut(range.len());
-                rest = tail;
-                let offset = start;
-                start += range.len();
-                scope.spawn(move || {
-                    for (i, out) in mine.iter_mut().enumerate() {
-                        let v = (offset + i) as VertexId;
-                        let mut sum = 0.0f64;
-                        for &u in graph.in_neighbors(v) {
-                            sum += prev_ref[u as usize] / graph.out_degree(u).max(1) as f64;
-                        }
-                        *out = base + dangling_share + cfg.damping * sum;
-                    }
-                });
+        par_fill_ranges(pool, &mut curr, &ranges, |v| {
+            let mut sum = 0.0f64;
+            for &u in graph.in_neighbors(v as VertexId) {
+                sum += prev_ref[u as usize] / graph.out_degree(u).max(1) as f64;
             }
+            base + dangling_share + cfg.damping * sum
         });
 
         let delta: f64 = curr
@@ -82,14 +81,27 @@ pub fn par_pagerank(graph: &Csr, cfg: &PrConfig, threads: usize) -> Vec<f64> {
     prev
 }
 
-/// Parallel push-based SSSP (Bellman–Ford) using atomic minimum
-/// relaxations. Produces exactly the shortest distances (relaxation
-/// order never affects the fixed point).
+/// Parallel push-based SSSP (Bellman–Ford) on a freshly created pool
+/// of `threads` workers, using atomic minimum relaxations. Produces
+/// exactly the shortest distances (relaxation order never affects the
+/// fixed point).
+///
+/// Prefer [`par_sssp_with`] when running repeatedly.
 ///
 /// # Panics
 ///
 /// Panics if the root is out of range for a non-empty graph.
 pub fn par_sssp(graph: &Csr, cfg: &SsspConfig, threads: usize) -> Vec<u64> {
+    par_sssp_with(graph, cfg, &Pool::new(threads))
+}
+
+/// Parallel push-based SSSP on an existing worker pool. The pool's
+/// threads persist across relaxation rounds (and across calls).
+///
+/// # Panics
+///
+/// Panics if the root is out of range for a non-empty graph.
+pub fn par_sssp_with(graph: &Csr, cfg: &SsspConfig, pool: &Pool) -> Vec<u64> {
     let n = graph.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -112,29 +124,27 @@ pub fn par_sssp(graph: &Csr, cfg: &SsspConfig, threads: usize) -> Vec<u64> {
         if frontier.is_empty() {
             break;
         }
+        let ranges = even_ranges(frontier.len(), pool.threads());
         let frontier_ref = &frontier;
+        let ranges_ref = &ranges;
         let dist_ref = &dist;
         let active_ref = &active;
         let any_ref = &any_active;
-        std::thread::scope(|scope| {
-            for range in chunks(frontier.len(), threads) {
-                scope.spawn(move || {
-                    for &u in &frontier_ref[range] {
-                        let du = dist_ref[u as usize].load(Ordering::Relaxed);
-                        let weights = graph.out_weights(u);
-                        for (i, &v) in graph.out_neighbors(u).iter().enumerate() {
-                            let w = weights.map_or(1, |ws| ws[i]) as u64;
-                            let nd = du.saturating_add(w);
-                            // Atomic min via fetch_min (Relaxed is fine:
-                            // the fixed point is order-independent).
-                            let old = dist_ref[v as usize].fetch_min(nd, Ordering::Relaxed);
-                            if nd < old {
-                                active_ref[v as usize].store(true, Ordering::Relaxed);
-                                any_ref.store(true, Ordering::Relaxed);
-                            }
-                        }
+        pool.broadcast(|w| {
+            for &u in &frontier_ref[ranges_ref[w].clone()] {
+                let du = dist_ref[u as usize].load(Ordering::Relaxed);
+                let weights = graph.out_weights(u);
+                for (i, &v) in graph.out_neighbors(u).iter().enumerate() {
+                    let wt = weights.map_or(1, |ws| ws[i]) as u64;
+                    let nd = du.saturating_add(wt);
+                    // Atomic min via fetch_min (Relaxed is fine: the
+                    // fixed point is order-independent).
+                    let old = dist_ref[v as usize].fetch_min(nd, Ordering::Relaxed);
+                    if nd < old {
+                        active_ref[v as usize].store(true, Ordering::Relaxed);
+                        any_ref.store(true, Ordering::Relaxed);
                     }
-                });
+                }
             }
         });
     }
@@ -194,11 +204,49 @@ mod tests {
     }
 
     #[test]
-    fn chunks_cover_range() {
-        for (n, t) in [(10usize, 3usize), (1, 8), (0, 4), (100, 7)] {
-            let cs = chunks(n, t);
-            let total: usize = cs.iter().map(|r| r.len()).sum();
-            assert_eq!(total, n, "n={n} t={t}");
+    fn one_pool_serves_many_runs() {
+        // The whole point of pooling: a single pool's workers survive
+        // across PageRank iterations, SSSP rounds, and entire runs of
+        // both apps.
+        let g = weighted_graph();
+        let pool = Pool::new(4);
+        let pr_cfg = PrConfig {
+            max_iters: 4,
+            tolerance: 0.0,
+            ..Default::default()
+        };
+        let pr_seq = pagerank(&g, &pr_cfg, &mut NullTracer);
+        let sssp_cfg = SsspConfig::from_root(7);
+        let sssp_seq = sssp(&g, &sssp_cfg, &mut NullTracer);
+        for _ in 0..3 {
+            let pr = par_pagerank_with(&g, &pr_cfg, &pool);
+            for (a, b) in pr_seq.ranks.iter().zip(pr.iter()) {
+                assert!((a - b).abs() < 1e-12);
+            }
+            assert_eq!(par_sssp_with(&g, &sssp_cfg, &pool), sssp_seq.distances);
+        }
+    }
+
+    #[test]
+    fn par_pagerank_handles_dangling_vertices() {
+        // A graph with sinks: ranks must still match the sequential
+        // engine (the hoisted dangling list is the same set the
+        // sequential path recomputes each iteration).
+        let mut el = lgr_graph::EdgeList::new(5);
+        el.push(0, 1);
+        el.push(1, 2);
+        el.push(3, 2);
+        // Vertices 2 and 4 are dangling (no out-edges).
+        let g = Csr::from_edge_list(&el);
+        let cfg = PrConfig {
+            max_iters: 10,
+            tolerance: 0.0,
+            ..Default::default()
+        };
+        let seq = pagerank(&g, &cfg, &mut NullTracer);
+        let par = par_pagerank(&g, &cfg, 4);
+        for (a, b) in seq.ranks.iter().zip(par.iter()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
     }
 }

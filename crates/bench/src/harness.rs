@@ -19,6 +19,7 @@ use lgr_core::{
 };
 use lgr_graph::datasets::{self, DatasetId, DatasetScale};
 use lgr_graph::{Csr, DegreeKind, VertexId};
+use lgr_parallel::Pool;
 
 /// Harness-wide knobs.
 #[derive(Debug, Clone, Copy)]
@@ -97,8 +98,21 @@ type RunKey = (AppId, DatasetId, Option<TechniqueId>);
 /// Caching driver shared by every experiment.
 pub struct Harness {
     cfg: HarnessConfig,
+    /// Worker pool shared by every CSR build, permutation apply, and
+    /// framework reordering the harness performs. Sized by the
+    /// `LGR_THREADS` knob (default: available parallelism).
+    pool: Pool,
     graphs: RefCell<HashMap<DatasetId, Rc<Csr>>>,
     reorders: RefCell<HashMap<ReorderKey, Rc<TimedReorder>>>,
+    /// Reordered CSRs, cached under the same canonicalized key as the
+    /// permutations that produced them — rebuilding the graph per
+    /// `run`/`wall` call was the single biggest repeated cost of the
+    /// repro pipeline.
+    reordered: RefCell<HashMap<ReorderKey, Rc<Csr>>>,
+    /// Per-dataset root candidates (vertices with both edge
+    /// directions), so the O(V) scan runs once per dataset rather than
+    /// once per prepared run.
+    root_candidates: RefCell<HashMap<DatasetId, Rc<Vec<VertexId>>>>,
     runs: RefCell<HashMap<RunKey, Rc<RunStats>>>,
     walls: RefCell<HashMap<RunKey, Duration>>,
 }
@@ -114,11 +128,20 @@ impl Harness {
     pub fn new(cfg: HarnessConfig) -> Self {
         Harness {
             cfg,
+            pool: Pool::with_default_threads(),
             graphs: RefCell::new(HashMap::new()),
             reorders: RefCell::new(HashMap::new()),
+            reordered: RefCell::new(HashMap::new()),
+            root_candidates: RefCell::new(HashMap::new()),
             runs: RefCell::new(HashMap::new()),
             walls: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// The worker pool shared by the harness's graph-construction and
+    /// reordering work.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
     }
 
     /// The active configuration.
@@ -141,7 +164,7 @@ impl Harness {
         self.log(&format!("building dataset {}", ds.name()));
         let mut el = datasets::build(ds, self.cfg.scale);
         el.randomize_weights(64, 0xC0FFEE ^ ds as u64);
-        let g = Rc::new(Csr::from_edge_list(&el));
+        let g = Rc::new(Csr::from_edge_list_with(&el, &self.pool));
         self.graphs.borrow_mut().insert(ds, Rc::clone(&g));
         g
     }
@@ -189,22 +212,63 @@ impl Harness {
         let graph = self.graph(ds);
         self.log(&format!("reordering {} with {}", ds.name(), tech.name()));
         let t = self.technique(tech);
-        let timed = Rc::new(TimedReorder::run(t.as_ref(), &graph, key.2));
+        let timed = Rc::new(TimedReorder::run_with(
+            t.as_ref(),
+            &graph,
+            key.2,
+            &self.pool,
+        ));
         self.reorders.borrow_mut().insert(key, Rc::clone(&timed));
         timed
     }
 
-    /// Deterministic roots on the ORIGINAL graph: vertices with both
-    /// in- and out-edges, evenly spaced through the ID range.
-    pub fn roots(&self, ds: DatasetId, count: usize) -> Vec<VertexId> {
+    /// The reordered CSR for `tech` on `ds` using `kind` degrees,
+    /// cached under the same canonicalized key as the permutation so
+    /// every `run`/`wall` call on the same (dataset, technique) pair
+    /// reuses one relabeled graph.
+    pub fn reordered_graph(&self, ds: DatasetId, tech: TechniqueId, kind: DegreeKind) -> Rc<Csr> {
+        let key = (ds, tech, Self::canonical_kind(tech, kind));
+        if let Some(g) = self.reordered.borrow().get(&key) {
+            return Rc::clone(g);
+        }
+        let base = self.graph(ds);
+        let timed = self.reorder(ds, tech, kind);
+        self.log(&format!("rebuilding {} under {}", ds.name(), tech.name()));
+        let g = Rc::new(base.apply_permutation_with(&timed.permutation, &self.pool));
+        self.reordered.borrow_mut().insert(key, Rc::clone(&g));
+        g
+    }
+
+    /// The dataset's root candidates (vertices with both in- and
+    /// out-edges), cached.
+    fn root_candidates(&self, ds: DatasetId) -> Rc<Vec<VertexId>> {
+        if let Some(c) = self.root_candidates.borrow().get(&ds) {
+            return Rc::clone(c);
+        }
         let g = self.graph(ds);
-        let candidates: Vec<VertexId> = (0..g.num_vertices() as VertexId)
-            .filter(|&v| g.out_degree(v) > 0 && g.in_degree(v) > 0)
-            .collect();
+        let candidates: Rc<Vec<VertexId>> = Rc::new(
+            (0..g.num_vertices() as VertexId)
+                .filter(|&v| g.out_degree(v) > 0 && g.in_degree(v) > 0)
+                .collect(),
+        );
+        self.root_candidates
+            .borrow_mut()
+            .insert(ds, Rc::clone(&candidates));
+        candidates
+    }
+
+    /// Deterministic roots on the ORIGINAL graph: vertices with both
+    /// in- and out-edges, evenly spaced through the ID range. Returns
+    /// at most one root per candidate — when `count` exceeds the
+    /// candidate pool the result is the whole pool, never duplicated
+    /// roots (a duplicate would double-charge its traversal in the
+    /// aggregated simulation).
+    pub fn roots(&self, ds: DatasetId, count: usize) -> Vec<VertexId> {
+        let candidates = self.root_candidates(ds);
         if candidates.is_empty() {
             return vec![0];
         }
-        let k = count.max(1);
+        let k = count.max(1).min(candidates.len());
         (0..k)
             .map(|i| {
                 let idx = (i * candidates.len() / k + candidates.len() / (2 * k))
@@ -272,8 +336,9 @@ impl Harness {
         match tech {
             None => (Rc::clone(base), roots),
             Some(t) => {
-                let timed = self.reorder(ds, t, app.reorder_degree());
-                let g = Rc::new(base.apply_permutation(&timed.permutation));
+                let kind = app.reorder_degree();
+                let timed = self.reorder(ds, t, kind);
+                let g = self.reordered_graph(ds, t, kind);
                 let mapped = roots.iter().map(|&r| timed.permutation.new_id(r)).collect();
                 (g, mapped)
             }
@@ -497,5 +562,34 @@ mod tests {
         for &r in &r1 {
             assert!(g.out_degree(r) > 0);
         }
+    }
+
+    #[test]
+    fn roots_never_duplicate_when_count_exceeds_pool() {
+        let h = tiny();
+        // Ask for far more roots than any 2^10-vertex dataset has
+        // candidates: the result must be capped and duplicate-free.
+        let roots = h.roots(DatasetId::Lj, 10_000_000);
+        let mut unique = roots.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), roots.len(), "duplicate roots returned");
+        assert!(roots.len() <= h.graph(DatasetId::Lj).num_vertices());
+    }
+
+    #[test]
+    fn reordered_graph_is_cached_across_runs() {
+        let h = tiny();
+        let a = h.reordered_graph(DatasetId::Lj, TechniqueId::Dbg, DegreeKind::Out);
+        let b = h.reordered_graph(DatasetId::Lj, TechniqueId::Dbg, DegreeKind::Out);
+        assert!(Rc::ptr_eq(&a, &b), "same key must reuse the CSR");
+        // Degree-kind canonicalization applies to the graph cache too.
+        let c = h.reordered_graph(DatasetId::Lj, TechniqueId::RandomVertex, DegreeKind::In);
+        let d = h.reordered_graph(DatasetId::Lj, TechniqueId::RandomVertex, DegreeKind::Out);
+        assert!(Rc::ptr_eq(&c, &d), "RV ignores degree kind");
+        // And the cached graph matches a fresh sequential apply.
+        let timed = h.reorder(DatasetId::Lj, TechniqueId::Dbg, DegreeKind::Out);
+        let fresh = h.graph(DatasetId::Lj).apply_permutation(&timed.permutation);
+        assert_eq!(*a, fresh);
     }
 }

@@ -18,6 +18,7 @@ use std::error::Error;
 use std::fmt;
 
 use lgr_graph::{Permutation, VertexId};
+use lgr_parallel::{even_ranges, par_chunks_mut, stable_offsets, Pool};
 
 /// Error returned for malformed group boundary specifications.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -214,6 +215,32 @@ pub fn group_reorder(degrees: &[u32], spec: &GroupingSpec) -> Permutation {
         offsets[g as usize] += 1;
         new_ids[v] = slot as VertexId;
     }
+    Permutation::from_new_ids(new_ids).expect("stable scatter produces a bijection")
+}
+
+/// Pooled counterpart of [`group_reorder`]: per-worker group
+/// histograms merged by prefix sum in worker order, then a parallel
+/// stable scatter. Because every worker owns a contiguous vertex range
+/// and the merge preserves worker order within each group, the result
+/// is identical to the sequential binning for every pool size — the
+/// framework's stable-scatter guarantee holds unchanged.
+pub fn group_reorder_with(degrees: &[u32], spec: &GroupingSpec, pool: &Pool) -> Permutation {
+    if pool.threads() == 1 {
+        return group_reorder(degrees, spec);
+    }
+    let ranges = even_ranges(degrees.len(), pool.threads());
+    let offsets = stable_offsets(pool, &ranges, spec.num_groups(), |v| {
+        spec.group_of(degrees[v])
+    });
+    let mut new_ids = vec![0 as VertexId; degrees.len()];
+    par_chunks_mut(pool, &mut new_ids, &ranges, |w, range, chunk| {
+        let mut cursor = offsets.row(w).to_vec();
+        for (slot, v) in chunk.iter_mut().zip(range) {
+            let g = spec.group_of(degrees[v]);
+            *slot = cursor[g] as VertexId;
+            cursor[g] += 1;
+        }
+    });
     Permutation::from_new_ids(new_ids).expect("stable scatter produces a bijection")
 }
 

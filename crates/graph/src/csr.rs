@@ -5,7 +5,29 @@
 //! both adjacency structures. Weighted graphs carry per-edge weights
 //! parallel to each adjacency array.
 
+use lgr_parallel::{edge_balanced_ranges, even_ranges, stable_offsets, Pool, SyncSlice};
+
 use crate::{EdgeList, Permutation, VertexId, Weight};
+
+/// Canonicalizes one vertex's neighbor list: ascending neighbor IDs,
+/// weights moving with their edges. Equal `(neighbor, weight)` pairs
+/// make the result independent of the input order, which is what lets
+/// the parallel construction paths produce CSRs structurally equal
+/// (`==`) to the sequential ones.
+fn sort_adjacent(neighbors: &mut [VertexId], weights: Option<&mut [Weight]>) {
+    match weights {
+        None => neighbors.sort_unstable(),
+        Some(ws) => {
+            let mut pairs: Vec<(VertexId, Weight)> =
+                neighbors.iter().copied().zip(ws.iter().copied()).collect();
+            pairs.sort_unstable();
+            for (i, (nbr, w)) in pairs.into_iter().enumerate() {
+                neighbors[i] = nbr;
+                ws[i] = w;
+            }
+        }
+    }
+}
 
 /// One direction of adjacency in CSR form.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -56,26 +78,204 @@ impl Adjacency {
         // ship with.
         for v in 0..num_vertices {
             let range = index[v]..index[v + 1];
-            match out_weights.as_mut() {
-                None => neighbors[range].sort_unstable(),
-                Some(ws) => {
-                    let mut pairs: Vec<(VertexId, Weight)> = neighbors[range.clone()]
-                        .iter()
-                        .copied()
-                        .zip(ws[range.clone()].iter().copied())
-                        .collect();
-                    pairs.sort_unstable();
-                    for (slot, (nbr, w)) in range.clone().zip(pairs) {
-                        neighbors[slot] = nbr;
-                        ws[slot] = w;
-                    }
-                }
-            }
+            sort_adjacent(
+                &mut neighbors[range.clone()],
+                out_weights.as_mut().map(|ws| &mut ws[range.clone()]),
+            );
         }
         Adjacency {
             index,
             neighbors,
             weights: out_weights,
+        }
+    }
+
+    /// Pooled counterpart of [`Adjacency::build`]: parallel per-worker
+    /// counting, a stable prefix-sum merge, a parallel scatter, and
+    /// edge-balanced parallel per-vertex neighbor sorting. Produces a
+    /// structure identical (`==`) to the sequential build.
+    ///
+    /// `ranges` partitions the edge array, one contiguous range per
+    /// pool worker.
+    fn build_with(
+        num_vertices: usize,
+        edges: &[(VertexId, VertexId)],
+        weights: Option<&[Weight]>,
+        owner_is_src: bool,
+        pool: &Pool,
+        ranges: &[std::ops::Range<usize>],
+    ) -> Self {
+        let owner_of = |i: usize| {
+            let (u, v) = edges[i];
+            if owner_is_src {
+                u as usize
+            } else {
+                v as usize
+            }
+        };
+        let offs = stable_offsets(pool, ranges, num_vertices, owner_of);
+        let mut neighbors = vec![0 as VertexId; edges.len()];
+        let mut out_weights = weights.map(|_| vec![0 as Weight; edges.len()]);
+        {
+            let nb = SyncSlice::new(&mut neighbors);
+            let wt = out_weights.as_mut().map(|w| SyncSlice::new(w));
+            pool.broadcast(|w| {
+                // Counting ranges may be fewer than pool workers (the
+                // histogram cap in `from_edge_list_with`); surplus
+                // workers sit this pass out.
+                if w >= ranges.len() {
+                    return;
+                }
+                let mut cursor = offs.row(w).to_vec();
+                for i in ranges[w].clone() {
+                    let (u, v) = edges[i];
+                    let (owner, other) = if owner_is_src { (u, v) } else { (v, u) };
+                    let slot = cursor[owner as usize];
+                    cursor[owner as usize] += 1;
+                    // SAFETY: stable offsets assign every (worker,
+                    // edge) pair a distinct slot, so writes are
+                    // disjoint across workers.
+                    unsafe { nb.write(slot, other) };
+                    if let (Some(ws), Some(wt)) = (weights, wt) {
+                        unsafe { wt.write(slot, ws[i]) };
+                    }
+                }
+            });
+        }
+        let index = offs.into_bin_starts();
+        // Canonicalize in parallel, dividing vertices by edge mass so
+        // hub-heavy prefixes don't serialize on one worker.
+        let vranges = edge_balanced_ranges(&index, pool.threads());
+        {
+            let nb = SyncSlice::new(&mut neighbors);
+            let wt = out_weights.as_mut().map(|w| SyncSlice::new(w));
+            pool.broadcast(|w| {
+                for v in vranges[w].clone() {
+                    let range = index[v]..index[v + 1];
+                    // SAFETY: neighbor ranges of distinct vertices are
+                    // disjoint, and each worker owns a distinct vertex
+                    // range.
+                    let nbrs = unsafe { nb.slice_mut(range.clone()) };
+                    let ws = wt.map(|wt| unsafe { wt.slice_mut(range.clone()) });
+                    sort_adjacent(nbrs, ws);
+                }
+            });
+        }
+        Adjacency {
+            index,
+            neighbors,
+            weights: out_weights,
+        }
+    }
+
+    /// Relabels this adjacency under `perm` directly, CSR-to-CSR: new
+    /// vertex `nv`'s list is original vertex `inv[nv]`'s list with
+    /// every neighbor relabeled, then canonically sorted. No
+    /// intermediate edge list is materialized.
+    fn permute(&self, perm: &Permutation, inv: &[VertexId]) -> Self {
+        let n = inv.len();
+        let mut index = vec![0usize; n + 1];
+        for nv in 0..n {
+            index[nv + 1] = index[nv] + self.degree(inv[nv]) as usize;
+        }
+        let mut neighbors = vec![0 as VertexId; self.neighbors.len()];
+        let mut weights = self
+            .weights
+            .as_ref()
+            .map(|_| vec![0 as Weight; self.neighbors.len()]);
+        for nv in 0..n {
+            let src = self.range(inv[nv]);
+            let dst = index[nv]..index[nv + 1];
+            for (d, s) in dst.clone().zip(src.clone()) {
+                neighbors[d] = perm.new_id(self.neighbors[s]);
+            }
+            if let (Some(src_w), Some(dst_w)) = (self.weights.as_ref(), weights.as_mut()) {
+                dst_w[dst.clone()].copy_from_slice(&src_w[src]);
+            }
+            sort_adjacent(
+                &mut neighbors[dst.clone()],
+                weights.as_mut().map(|ws| &mut ws[dst.clone()]),
+            );
+        }
+        Adjacency {
+            index,
+            neighbors,
+            weights,
+        }
+    }
+
+    /// Pooled counterpart of [`Adjacency::permute`]. The new index is
+    /// built with a two-level parallel prefix sum; relabeling and
+    /// canonical sorting are divided by edge mass.
+    fn permute_with(&self, perm: &Permutation, inv: &[VertexId], pool: &Pool) -> Self {
+        let n = inv.len();
+        let vranges = even_ranges(n, pool.threads());
+        // Level 1: per-worker degree sums; level 2: sequential prefix
+        // over worker totals; level 3: parallel index fill.
+        let mut chunk_sums = vec![0usize; vranges.len()];
+        lgr_parallel::par_fill(pool, &mut chunk_sums, |j| {
+            vranges[j]
+                .clone()
+                .map(|nv| self.degree(inv[nv]) as usize)
+                .sum()
+        });
+        let mut bases = vec![0usize; vranges.len()];
+        let mut acc = 0usize;
+        for (base, &s) in bases.iter_mut().zip(&chunk_sums) {
+            *base = acc;
+            acc += s;
+        }
+        let mut index = vec![0usize; n + 1];
+        {
+            let idx = SyncSlice::new(&mut index);
+            let bases = &bases;
+            let vranges = &vranges;
+            pool.broadcast(|w| {
+                let mut acc = bases[w];
+                for nv in vranges[w].clone() {
+                    acc += self.degree(inv[nv]) as usize;
+                    // SAFETY: worker w writes only slots nv+1 for nv in
+                    // its own vertex range (slot 0 stays 0).
+                    unsafe { idx.write(nv + 1, acc) };
+                }
+            });
+        }
+        let mut neighbors = vec![0 as VertexId; self.neighbors.len()];
+        let mut weights = self
+            .weights
+            .as_ref()
+            .map(|_| vec![0 as Weight; self.neighbors.len()]);
+        let eranges = edge_balanced_ranges(&index, pool.threads());
+        {
+            let nb = SyncSlice::new(&mut neighbors);
+            let wt = weights.as_mut().map(|w| SyncSlice::new(w));
+            pool.broadcast(|w| {
+                for nv in eranges[w].clone() {
+                    let src = self.range(inv[nv]);
+                    let dst = index[nv]..index[nv + 1];
+                    // SAFETY: destination ranges of distinct new
+                    // vertices are disjoint, and each worker owns a
+                    // distinct new-vertex range.
+                    let out = unsafe { nb.slice_mut(dst.clone()) };
+                    for (slot, s) in out.iter_mut().zip(src.clone()) {
+                        *slot = perm.new_id(self.neighbors[s]);
+                    }
+                    let out_w = match (self.weights.as_ref(), wt) {
+                        (Some(src_w), Some(wt)) => {
+                            let out_w = unsafe { wt.slice_mut(dst) };
+                            out_w.copy_from_slice(&src_w[src]);
+                            Some(out_w)
+                        }
+                        _ => None,
+                    };
+                    sort_adjacent(out, out_w);
+                }
+            });
+        }
+        Adjacency {
+            index,
+            neighbors,
+            weights,
         }
     }
 
@@ -131,6 +331,49 @@ impl Csr {
             num_edges: edges.len(),
             out: Adjacency::build(n, edges, weights, true),
             inn: Adjacency::build(n, edges, weights, false),
+        }
+    }
+
+    /// Builds a CSR graph from an edge list using the worker pool:
+    /// out- and in-adjacencies are assembled by parallel counting
+    /// sort (per-worker histograms merged by prefix sum, parallel
+    /// scatter, edge-balanced parallel neighbor sorting).
+    ///
+    /// The result is structurally identical (`==`) to
+    /// [`Csr::from_edge_list`] for every pool size; a single-worker
+    /// pool falls back to the sequential path.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lgr_graph::{Csr, EdgeList};
+    /// use lgr_parallel::Pool;
+    ///
+    /// let mut el = EdgeList::new(3);
+    /// el.push(0, 1);
+    /// el.push(2, 1);
+    /// let pool = Pool::new(4);
+    /// assert_eq!(Csr::from_edge_list_with(&el, &pool), Csr::from_edge_list(&el));
+    /// ```
+    pub fn from_edge_list_with(el: &EdgeList, pool: &Pool) -> Self {
+        if pool.threads() == 1 {
+            return Self::from_edge_list(el);
+        }
+        let n = el.num_vertices();
+        let edges = el.edges();
+        let weights = el.weights();
+        // Each counting range costs a V-slot histogram row (plus a
+        // V-slot scatter cursor), so cap the range count at the
+        // average degree: the transient per-direction matrix then
+        // never exceeds the edge array itself, instead of growing
+        // linearly with core count on many-core hosts.
+        let parts = pool.threads().min((edges.len() / n.max(1)).max(1));
+        let ranges = even_ranges(edges.len(), parts);
+        Csr {
+            num_vertices: n,
+            num_edges: edges.len(),
+            out: Adjacency::build_with(n, edges, weights, true, pool, &ranges),
+            inn: Adjacency::build_with(n, edges, weights, false, pool, &ranges),
         }
     }
 
@@ -213,6 +456,23 @@ impl Csr {
         self.inn.index[v as usize]
     }
 
+    /// The cumulative out-edge offset array (length `V + 1`):
+    /// `out_offsets()[v + 1] - out_offsets()[v]` is `v`'s out-degree.
+    ///
+    /// Exposed for edge-balanced work division
+    /// ([`lgr_parallel::edge_balanced_ranges`]).
+    #[inline]
+    pub fn out_offsets(&self) -> &[usize] {
+        &self.out.index
+    }
+
+    /// The cumulative in-edge offset array (length `V + 1`), the
+    /// in-direction counterpart of [`Csr::out_offsets`].
+    #[inline]
+    pub fn in_offsets(&self) -> &[usize] {
+        &self.inn.index
+    }
+
     /// All out-degrees as a vector.
     pub fn out_degrees(&self) -> Vec<u32> {
         (0..self.num_vertices as VertexId)
@@ -253,15 +513,47 @@ impl Csr {
     /// data lives at slot `perm.new_id(v)` of every array. The graph
     /// itself (as a set of weighted edges) is unchanged.
     ///
+    /// The relabeling scatters CSR-to-CSR directly — no intermediate
+    /// [`EdgeList`] is materialized and no counting sort is repeated —
+    /// but the result is structurally identical (`==`) to rebuilding
+    /// from the relabeled edge list.
+    ///
     /// # Panics
     ///
     /// Panics if the permutation length differs from the vertex count.
     pub fn apply_permutation(&self, perm: &Permutation) -> Csr {
         assert_eq!(perm.len(), self.num_vertices, "permutation length mismatch");
-        // Relabel edges; rebuild via the standard counting-sort path so
-        // adjacency grouping reflects the new layout.
-        let relabeled = self.to_edge_list().relabel(perm);
-        Csr::from_edge_list(&relabeled)
+        let inv = perm.inverse();
+        Csr {
+            num_vertices: self.num_vertices,
+            num_edges: self.num_edges,
+            out: self.out.permute(perm, &inv),
+            inn: self.inn.permute(perm, &inv),
+        }
+    }
+
+    /// Pooled counterpart of [`Csr::apply_permutation`]: the direct
+    /// CSR-to-CSR relabel/scatter with index construction, neighbor
+    /// relabeling, and canonical sorting divided across the pool's
+    /// workers (edge-balanced). Structurally identical (`==`) results
+    /// for every pool size; a single-worker pool falls back to the
+    /// sequential path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutation length differs from the vertex count.
+    pub fn apply_permutation_with(&self, perm: &Permutation, pool: &Pool) -> Csr {
+        assert_eq!(perm.len(), self.num_vertices, "permutation length mismatch");
+        if pool.threads() == 1 {
+            return self.apply_permutation(perm);
+        }
+        let inv = perm.inverse();
+        Csr {
+            num_vertices: self.num_vertices,
+            num_edges: self.num_edges,
+            out: self.out.permute_with(perm, &inv, pool),
+            inn: self.inn.permute_with(perm, &inv, pool),
+        }
     }
 }
 

@@ -7,6 +7,8 @@
 //! reordering; the hot/cold threshold is the dataset's average degree
 //! unless stated otherwise, exactly as in the paper.
 
+use lgr_parallel::{par_fill, Pool};
+
 use crate::{Csr, VertexId};
 
 /// Which degree of a vertex a reordering technique should use.
@@ -35,6 +37,24 @@ impl DegreeKind {
                 d
             }
         }
+    }
+
+    /// Pooled counterpart of [`DegreeKind::degrees`]: extracts the
+    /// selected degree of every vertex in parallel. Identical output
+    /// for every pool size (degree reads are pure).
+    pub fn degrees_with(self, graph: &Csr, pool: &Pool) -> Vec<u32> {
+        if pool.threads() == 1 {
+            return self.degrees(graph);
+        }
+        let mut d = vec![0u32; graph.num_vertices()];
+        match self {
+            DegreeKind::In => par_fill(pool, &mut d, |v| graph.in_degree(v as VertexId)),
+            DegreeKind::Out => par_fill(pool, &mut d, |v| graph.out_degree(v as VertexId)),
+            DegreeKind::Both => par_fill(pool, &mut d, |v| {
+                graph.in_degree(v as VertexId) + graph.out_degree(v as VertexId)
+            }),
+        }
+        d
     }
 }
 

@@ -1,0 +1,151 @@
+//! Work division: even and edge-balanced range splitting.
+
+use std::ops::Range;
+
+/// Splits `0..n` into exactly `parts` contiguous ranges of
+/// near-equal *length* (trailing ranges may be empty). `parts` is
+/// clamped to at least 1.
+///
+/// Index the result directly by worker index: `ranges[w]` is worker
+/// `w`'s slice of the iteration space.
+///
+/// # Example
+///
+/// ```
+/// use lgr_parallel::even_ranges;
+///
+/// assert_eq!(even_ranges(10, 3), vec![0..4, 4..8, 8..10]);
+/// assert_eq!(even_ranges(1, 3), vec![0..1, 1..1, 1..1]);
+/// ```
+pub fn even_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let chunk = n.div_ceil(parts);
+    (0..parts)
+        .map(|i| (i * chunk).min(n)..((i + 1) * chunk).min(n))
+        .collect()
+}
+
+/// Splits the vertex range `0..offsets.len()-1` into exactly `parts`
+/// contiguous ranges of near-equal *edge mass*, where `offsets` is a
+/// cumulative edge-offset array in CSR form (`offsets[v+1] -
+/// offsets[v]` is vertex `v`'s degree).
+///
+/// Contiguous equal-*vertex* splits are pathological on hub-first
+/// orderings (Sort and DBG place every heavy vertex in worker 0's
+/// chunk); balancing on edges instead keeps pull-mode iteration
+/// latency flat across workers. Falls back to [`even_ranges`] when the
+/// graph has no edges.
+///
+/// # Example
+///
+/// ```
+/// use lgr_parallel::edge_balanced_ranges;
+///
+/// // Four vertices with degrees [6, 1, 1, 0]: an even split would
+/// // give 0..2 and 2..4 (7 edges vs 1); the edge-balanced split cuts
+/// // after the hub.
+/// let ranges = edge_balanced_ranges(&[0, 6, 7, 8, 8], 2);
+/// assert_eq!(ranges, vec![0..1, 1..4]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `offsets` is empty (a CSR offset array always has at
+/// least the single entry `[0]`).
+pub fn edge_balanced_ranges(offsets: &[usize], parts: usize) -> Vec<Range<usize>> {
+    assert!(
+        !offsets.is_empty(),
+        "offsets must hold at least one entry (got none)"
+    );
+    let parts = parts.max(1);
+    let n = offsets.len() - 1;
+    let total = offsets[n] - offsets[0];
+    if total == 0 {
+        return even_ranges(n, parts);
+    }
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for i in 1..=parts {
+        let end = if i == parts {
+            // The last range absorbs trailing zero-degree vertices.
+            n
+        } else {
+            let target = offsets[0] + ((total as u128 * i as u128) / parts as u128) as usize;
+            // First vertex boundary whose cumulative offset reaches
+            // the target, clamped to stay monotone.
+            offsets.partition_point(|&o| o < target).clamp(start, n)
+        };
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers(ranges: &[Range<usize>], n: usize) {
+        let mut next = 0usize;
+        for r in ranges {
+            assert_eq!(r.start, next, "ranges must tile without gaps");
+            assert!(r.start <= r.end);
+            next = r.end;
+        }
+        assert_eq!(next, n, "ranges must cover 0..{n}");
+    }
+
+    #[test]
+    fn even_ranges_tile_the_space() {
+        for (n, t) in [(10usize, 3usize), (1, 8), (0, 4), (100, 7), (7, 7), (5, 9)] {
+            let rs = even_ranges(n, t);
+            assert_eq!(rs.len(), t.max(1));
+            covers(&rs, n);
+        }
+    }
+
+    #[test]
+    fn edge_balanced_tiles_and_balances() {
+        // Uniform degrees: behaves like an even split.
+        let offsets: Vec<usize> = (0..=8).map(|v| v * 3).collect();
+        let rs = edge_balanced_ranges(&offsets, 4);
+        covers(&rs, 8);
+        assert_eq!(rs, vec![0..2, 2..4, 4..6, 6..8]);
+    }
+
+    #[test]
+    fn edge_balanced_isolates_hubs() {
+        // Hub-first ordering: vertex 0 holds 100 of 104 edges.
+        let offsets = [0usize, 100, 101, 102, 103, 104];
+        let rs = edge_balanced_ranges(&offsets, 4);
+        covers(&rs, 5);
+        // The hub gets a worker to itself.
+        assert_eq!(rs[0], 0..1);
+        // No other worker's edge mass exceeds the remainder.
+        for r in &rs[1..] {
+            assert!(offsets[r.end] - offsets[r.start] <= 4);
+        }
+    }
+
+    #[test]
+    fn edge_balanced_empty_graph_falls_back() {
+        let rs = edge_balanced_ranges(&[0, 0, 0, 0], 2);
+        covers(&rs, 3);
+    }
+
+    #[test]
+    fn edge_balanced_zero_vertices() {
+        let rs = edge_balanced_ranges(&[0], 3);
+        covers(&rs, 0);
+    }
+
+    #[test]
+    fn edge_balanced_trailing_isolated_vertices() {
+        // Degrees [4, 4, 0, 0]: the zero-degree tail still gets
+        // assigned (to the last range).
+        let rs = edge_balanced_ranges(&[0, 4, 8, 8, 8], 2);
+        covers(&rs, 4);
+        assert_eq!(rs[0], 0..1);
+        assert_eq!(rs[1], 1..4);
+    }
+}

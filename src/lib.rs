@@ -18,6 +18,9 @@
 //!   PR / PRD / BC / SSSP / Radii applications.
 //! * [`cachesim`] (`lgr-cachesim`) — the trace-driven multi-core
 //!   cache simulator (MPKI, snoop classification, cycle model).
+//! * [`parallel`] (`lgr-parallel`) — the persistent worker pool and
+//!   data-parallel primitives behind the pooled CSR build, permutation
+//!   apply, reordering, and analytics paths.
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,7 @@ pub use lgr_analytics as analytics;
 pub use lgr_cachesim as cachesim;
 pub use lgr_core as reorder;
 pub use lgr_graph as graph;
+pub use lgr_parallel as parallel;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -55,4 +59,5 @@ pub mod prelude {
         Dbg, Gorder, HubCluster, HubSort, Identity, ReorderingTechnique, Sort, TechniqueId,
     };
     pub use lgr_graph::{gen, Csr, DegreeKind, EdgeList, Permutation};
+    pub use lgr_parallel::Pool;
 }
