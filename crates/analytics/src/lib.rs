@@ -5,11 +5,11 @@
 //! edge traversal with Ligra's direction switching, and the five
 //! applications of Table VII:
 //!
-//! * [`apps::pagerank`] — PageRank (pull-only).
-//! * [`apps::pagerank_delta`] — PageRank-Delta (push-only).
-//! * [`apps::bc`] — Betweenness Centrality via a BFS kernel (pull-push).
-//! * [`apps::sssp`] — Bellman–Ford SSSP (push-only, weighted).
-//! * [`apps::radii`] — Radii estimation via 64 parallel BFS's
+//! * [`apps::pagerank()`] — PageRank (pull-only).
+//! * [`apps::pagerank_delta()`] — PageRank-Delta (push-only).
+//! * [`apps::bc()`] — Betweenness Centrality via a BFS kernel (pull-push).
+//! * [`apps::sssp()`] — Bellman–Ford SSSP (push-only, weighted).
+//! * [`apps::radii()`] — Radii estimation via 64 parallel BFS's
 //!   (pull-push).
 //!
 //! Every application is generic over a [`lgr_cachesim::Tracer`]: pass

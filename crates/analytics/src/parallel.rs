@@ -27,7 +27,7 @@ use crate::apps::sssp::UNREACHABLE;
 use crate::apps::{PrConfig, SsspConfig};
 
 /// Parallel pull-based PageRank on a freshly created pool of
-/// `threads` workers. Equivalent to [`crate::apps::pagerank`] (pull
+/// `threads` workers. Equivalent to [`crate::apps::pagerank()`] (pull
 /// iterations have no write sharing, so the parallel version is
 /// deterministic).
 ///

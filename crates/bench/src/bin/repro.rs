@@ -8,17 +8,28 @@
 //! repro [OPTIONS] <experiment>... | all | list
 //!
 //! Options:
-//!   --quick        tiny graphs (CI smoke test)
-//!   --scale <exp>  sd dataset gets 2^exp vertices (default 17)
-//!   --roots <n>    roots per root-dependent app run (default 2)
-//!   --verbose      progress logging to stderr
+//!   --quick              tiny graphs (CI smoke test)
+//!   --scale <exp>        sd dataset gets 2^exp vertices (default 17)
+//!   --roots <n>          roots per root-dependent app run (default 2)
+//!   --techniques <list>  comma-separated technique specs (dbg,sort,rcb:4,...)
+//!   --apps <list>        comma-separated app specs (pr,sssp,...)
+//!   --sim <knobs>        simulator geometry (cores=8,sockets=2,...)
+//!   --verbose            progress logging to stderr
 //! ```
+//!
+//! Unknown experiment, technique, or app names exit with code 2 and
+//! list the valid names.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use lgr_bench::experiments::{self, Experiment};
-use lgr_bench::{Harness, HarnessConfig};
+use lgr_bench::{AppSpec, Session, SessionConfig, SpecError, TechniqueSpec};
+use lgr_cachesim::SimConfig;
+
+/// Exit code for unknown experiment/technique/app names (distinct
+/// from 1, which covers malformed flags).
+const EXIT_UNKNOWN_NAME: u8 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +40,9 @@ fn main() -> ExitCode {
     let mut verbose = false;
     let mut scale_exp: Option<u32> = None;
     let mut roots: Option<usize> = None;
+    let mut techniques: Option<Vec<TechniqueSpec>> = None;
+    let mut apps: Option<Vec<AppSpec>> = None;
+    let mut sim: Option<SimConfig> = None;
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -43,15 +57,34 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => roots = Some(n),
                 _ => return usage("--roots needs a positive integer"),
             },
+            "--techniques" => match iter.next() {
+                Some(list) => match parse_list::<TechniqueSpec>(&list) {
+                    Ok(specs) => techniques = Some(specs),
+                    Err(e) => return spec_error(e),
+                },
+                None => return usage("--techniques needs a comma-separated list"),
+            },
+            "--apps" => match iter.next() {
+                Some(list) => match parse_list::<AppSpec>(&list) {
+                    Ok(specs) => apps = Some(specs),
+                    Err(e) => return spec_error(e),
+                },
+                None => return usage("--apps needs a comma-separated list"),
+            },
+            "--sim" => match iter.next().map(|s| s.parse::<SimConfig>()) {
+                Some(Ok(parsed)) => sim = Some(parsed),
+                Some(Err(e)) => return usage(&e.to_string()),
+                None => return usage("--sim needs a knob list (cores=8,sockets=2,...)"),
+            },
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => return usage(&format!("unknown option {other}")),
             other => names.push(other.to_owned()),
         }
     }
     let mut cfg = if quick {
-        HarnessConfig::quick()
+        SessionConfig::quick()
     } else {
-        HarnessConfig::default()
+        SessionConfig::default()
     };
     if let Some(exp) = scale_exp {
         cfg = cfg.with_scale_exp(exp);
@@ -59,7 +92,12 @@ fn main() -> ExitCode {
     if let Some(n) = roots {
         cfg.roots = n;
     }
+    if let Some(s) = sim {
+        cfg.sim = s;
+    }
     cfg.verbose = verbose;
+    cfg.techniques = techniques;
+    cfg.apps = apps;
 
     if names.iter().any(|n| n == "list") {
         for e in experiments::ALL {
@@ -75,20 +113,26 @@ fn main() -> ExitCode {
         for n in &names {
             match experiments::by_name(n) {
                 Some(e) => v.push(e),
-                None => return usage(&format!("unknown experiment {n}")),
+                None => {
+                    let valid: Vec<&str> = experiments::ALL.iter().map(|e| e.name).collect();
+                    return unknown_name(&format!(
+                        "unknown experiment `{n}`; valid: {}",
+                        valid.join(", ")
+                    ));
+                }
             }
         }
         v
     };
 
-    let harness = Harness::new(cfg);
     println!(
         "# graph-reorder reproduction | sd = {} vertices | {} cores / {} sockets | {} root(s)\n",
         cfg.scale.sd_vertices, cfg.sim.cores, cfg.sim.sockets, cfg.roots
     );
+    let session = Session::new(cfg);
     for e in selected {
         let start = Instant::now();
-        let report = (e.run)(&harness);
+        let report = (e.run)(&session);
         println!("{report}");
         eprintln!(
             "[repro] {} done in {:.1}s",
@@ -99,12 +143,34 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parses a comma-separated spec list, surfacing the spec layer's
+/// error (which names the offending token and the valid names).
+fn parse_list<T: std::str::FromStr<Err = SpecError>>(list: &str) -> Result<Vec<T>, SpecError> {
+    list.split(',').map(|s| s.trim().parse::<T>()).collect()
+}
+
+/// Unknown *names* exit 2; malformed values/parameters are flag
+/// errors and exit 1 like every other bad flag.
+fn spec_error(err: SpecError) -> ExitCode {
+    match err {
+        SpecError::UnknownTechnique { .. } | SpecError::UnknownApp { .. } => {
+            unknown_name(&err.to_string())
+        }
+        _ => usage(&err.to_string()),
+    }
+}
+
+fn unknown_name(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    ExitCode::from(EXIT_UNKNOWN_NAME)
+}
+
 fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--quick] [--scale <exp>] [--roots <n>] [--verbose] <experiment>... | all | list"
+        "usage: repro [--quick] [--scale <exp>] [--roots <n>] [--techniques <list>] [--apps <list>] [--sim <knobs>] [--verbose] <experiment>... | all | list"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

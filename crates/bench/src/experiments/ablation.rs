@@ -3,15 +3,29 @@
 //! and Sort-like fineness (many groups).
 
 use lgr_analytics::apps::AppId;
-use lgr_core::{Dbg, TimedReorder};
+use lgr_core::Dbg;
+use lgr_engine::{AppSpec, Job, Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 
-use crate::{Harness, TextTable};
+use crate::TextTable;
 
 /// Sweeps DBG's number of geometric hot groups on one unstructured
 /// and one structured dataset, reporting PR speedup and structure
-/// preservation.
-pub fn run(h: &Harness) -> String {
+/// preservation. Every swept variant is addressed through the spec
+/// layer (`dbg:groups=k`) — the parameterizations the closed
+/// `TechniqueId` enum could never name.
+pub fn run(h: &Session) -> String {
+    // This is a DBG/PR study: honor the session filters like every
+    // other experiment.
+    if h.selected_techniques(&[TechniqueSpec::dbg()]).is_empty()
+        || h.selected_apps(&[AppSpec::new(AppId::Pr)]).is_empty()
+    {
+        return super::skipped("Ablation");
+    }
+    // The sweep compares against `Session::simulate_pr`, which runs
+    // PR at the session defaults; the baseline deliberately uses the
+    // same bare spec so both sides of the comparison match (app knob
+    // overrides are ignored here by design).
     let group_counts = [1u32, 2, 4, 6, 8, 10];
     let mut out = String::new();
     for ds in [DatasetId::Sd, DatasetId::Mp] {
@@ -26,7 +40,7 @@ pub fn run(h: &Harness) -> String {
                 }
             ),
             vec![
-                "hot groups",
+                "spec",
                 "total groups",
                 "PR speedup (%)",
                 "adjacency preserved (%)",
@@ -34,16 +48,16 @@ pub fn run(h: &Harness) -> String {
             ],
         );
         let graph = h.graph(ds);
-        let base = h.run(AppId::Pr, ds, None).cycles() as f64;
+        let base = h.run(&Job::new(AppSpec::new(AppId::Pr), ds)).cycles() as f64;
         for &k in &group_counts {
-            let dbg = Dbg::with_hot_groups(k);
-            let timed = TimedReorder::run(&dbg, &graph, AppId::Pr.reorder_degree());
-            let spec = dbg.spec_for(graph.average_degree());
+            let spec = TechniqueSpec::dbg_groups(k);
+            let timed = h.reorder_with_kind(&graph, &spec, AppId::Pr.reorder_degree());
+            let grouping = Dbg::with_hot_groups(k).spec_for(graph.average_degree());
             let reordered = graph.apply_permutation(&timed.permutation);
             let cycles = h.simulate_pr(&reordered) as f64;
             t.row(vec![
-                k.to_string(),
-                spec.num_groups().to_string(),
+                spec.to_string(),
+                grouping.num_groups().to_string(),
                 format!("{:+.1}", (base / cycles - 1.0) * 100.0),
                 format!("{:.1}", timed.permutation.adjacency_preservation() * 100.0),
                 format!("{:.1}", timed.elapsed.as_secs_f64() * 1e3),

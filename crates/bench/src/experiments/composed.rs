@@ -1,24 +1,28 @@
 //! Sec. VII extension: Gorder+DBG layering — keep most of Gorder's
 //! structure-aware quality while making hot vertices contiguous.
 
-use lgr_analytics::apps::AppId;
-use lgr_core::TechniqueId;
+use lgr_engine::{Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 
 use crate::table::geomean;
-use crate::{Harness, TextTable};
+use crate::TextTable;
 
 /// Regenerates the paper's Gorder+DBG comparison (Sec. VII reports
 /// +17.2% for Gorder+DBG vs +18.6% for Gorder alone across the 40
 /// datapoints).
-pub fn run(h: &Harness) -> String {
-    let techniques = [
-        TechniqueId::Dbg,
-        TechniqueId::Gorder,
-        TechniqueId::GorderDbg,
-    ];
+pub fn run(h: &Session) -> String {
+    let techniques = h.selected_techniques(&[
+        TechniqueSpec::dbg(),
+        TechniqueSpec::gorder(),
+        TechniqueSpec::gorder_dbg(),
+    ]);
+    let apps = h.eval_apps();
+    if techniques.is_empty() || apps.is_empty() {
+        return super::skipped("Sec. VII (composed)");
+    }
+    let labels: Vec<String> = techniques.iter().map(TechniqueSpec::label).collect();
     let mut header = vec!["dataset"];
-    header.extend(techniques.iter().map(|t| t.name()));
+    header.extend(labels.iter().map(String::as_str));
     let mut t = TextTable::new(
         "Sec. VII: Gorder+DBG layering — speedup (%) excluding reordering time",
         header,
@@ -26,11 +30,8 @@ pub fn run(h: &Harness) -> String {
     let mut per_tech: Vec<Vec<f64>> = vec![Vec::new(); techniques.len()];
     for ds in DatasetId::SKEWED {
         let mut row = vec![ds.name().to_owned()];
-        for (i, &tech) in techniques.iter().enumerate() {
-            let ratios: Vec<f64> = AppId::ALL
-                .iter()
-                .map(|&app| h.speedup(app, ds, tech))
-                .collect();
+        for (i, tech) in techniques.iter().enumerate() {
+            let ratios: Vec<f64> = apps.iter().map(|app| h.speedup(app, ds, tech)).collect();
             let gm = geomean(&ratios);
             per_tech[i].push(gm);
             row.push(format!("{:+.1}", (gm - 1.0) * 100.0));

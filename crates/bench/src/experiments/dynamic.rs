@@ -7,14 +7,22 @@
 //! quantifies the paper's claim that churn barely moves the hot set.
 
 use lgr_analytics::apps::AppId;
-use lgr_core::{Dbg, TimedReorder};
+use lgr_engine::{Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 use lgr_graph::evolve::{hot_set_overlap, ChurnConfig, EvolvingGraph};
 
-use crate::{Harness, TextTable};
+use crate::TextTable;
 
 /// Runs the evolving-graph amortization study on the `sd` analogue.
-pub fn run(h: &Harness) -> String {
+pub fn run(h: &Session) -> String {
+    // This is a DBG/PR study: honor the session filters like every
+    // other experiment.
+    if h.selected_techniques(&[TechniqueSpec::dbg()]).is_empty()
+        || h.selected_apps(&[lgr_engine::AppSpec::new(AppId::Pr)])
+            .is_empty()
+    {
+        return super::skipped("Sec. VIII-B (dynamic)");
+    }
     let ds = DatasetId::Sd;
     let base_graph = h.graph(ds);
     let base_el = base_graph.to_edge_list();
@@ -52,8 +60,8 @@ pub fn run(h: &Harness) -> String {
     // 4 batches.
     let mut evolving = EvolvingGraph::from_edge_list(&base_el, 99);
     let initial_degrees = evolving.out_degrees();
-    let dbg = Dbg::default();
-    let first = TimedReorder::run(&dbg, &base_graph, kind);
+    let dbg = TechniqueSpec::dbg();
+    let first = h.reorder_with_kind(&base_graph, &dbg, kind);
     once_reorder += h.wall_to_cycles(ds, first.elapsed);
     periodic_reorder += h.wall_to_cycles(ds, first.elapsed);
     let mut once_perm = first.permutation.clone();
@@ -66,7 +74,7 @@ pub fn run(h: &Harness) -> String {
         overlap_acc += hot_set_overlap(&initial_degrees, &evolving.out_degrees());
 
         if batch_idx % 4 == 3 {
-            let re = TimedReorder::run(&dbg, &snapshot, kind);
+            let re = h.reorder_with_kind(&snapshot, &dbg, kind);
             periodic_reorder += h.wall_to_cycles(ds, re.elapsed);
             periodic_perm = re.permutation;
         }

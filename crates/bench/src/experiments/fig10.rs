@@ -1,29 +1,34 @@
 //! Fig. 10: net speedup after accounting for reordering time
 //! (single run of each application).
 
-use lgr_analytics::apps::AppId;
-use lgr_core::TechniqueId;
+use lgr_engine::{Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 
 use crate::table::geomean;
-use crate::{Harness, TextTable};
+use crate::TextTable;
 
 /// The four datasets of the paper's Fig. 10: the two largest
 /// unstructured and two largest structured.
 pub const DATASETS: [DatasetId; 4] = [DatasetId::Tw, DatasetId::Sd, DatasetId::Fr, DatasetId::Mp];
 
 /// Regenerates Fig. 10.
-pub fn run(h: &Harness) -> String {
+pub fn run(h: &Session) -> String {
+    let techs = h.main_eval();
+    let apps = h.eval_apps();
+    if techs.is_empty() || apps.is_empty() {
+        return super::skipped("Fig. 10");
+    }
+    let labels: Vec<String> = techs.iter().map(TechniqueSpec::label).collect();
     let mut header = vec!["app", "dataset"];
-    header.extend(TechniqueId::MAIN_EVAL.iter().map(|t| t.name()));
+    header.extend(labels.iter().map(String::as_str));
     let mut t = TextTable::new(
         "Fig. 10: net speedup (%) including reordering time (1 run)",
         header,
     );
-    for app in AppId::ALL {
+    for app in &apps {
         for ds in DATASETS {
-            let mut row = vec![app.name().to_owned(), ds.name().to_owned()];
-            for tech in TechniqueId::MAIN_EVAL {
+            let mut row = vec![app.label().to_owned(), ds.name().to_owned()];
+            for tech in &techs {
                 let s = h.net_speedup(app, ds, tech, 1);
                 row.push(format!("{:+.1}", (s - 1.0) * 100.0));
             }
@@ -31,10 +36,10 @@ pub fn run(h: &Harness) -> String {
         }
     }
     let mut gm = vec!["GMean".to_owned(), String::new()];
-    for tech in TechniqueId::MAIN_EVAL {
-        let ratios: Vec<f64> = AppId::ALL
+    for tech in &techs {
+        let ratios: Vec<f64> = apps
             .iter()
-            .flat_map(|&app| {
+            .flat_map(|app| {
                 DATASETS
                     .iter()
                     .map(move |&ds| h.net_speedup(app, ds, tech, 1))

@@ -2,36 +2,44 @@
 //! how fast each technique amortizes its reordering cost.
 
 use lgr_analytics::apps::AppId;
-use lgr_core::TechniqueId;
+use lgr_engine::{AppSpec, Session, TechniqueSpec};
 
 use crate::experiments::fig10::DATASETS;
 use crate::table::geomean;
-use crate::{Harness, TextTable};
+use crate::TextTable;
 
 /// Regenerates Fig. 11.
-pub fn run(h: &Harness) -> String {
+pub fn run(h: &Session) -> String {
+    let techs = h.main_eval();
+    let mut apps = h.selected_apps(&[AppSpec::new(AppId::Sssp)]);
+    if techs.is_empty() || apps.is_empty() {
+        return super::skipped("Fig. 11");
+    }
+    // Use the selected spec so `--apps sssp:roots=...` knobs apply.
+    let sssp = apps.remove(0);
+    let labels: Vec<String> = techs.iter().map(TechniqueSpec::label).collect();
     let traversal_counts = [1u64, 8, 16, 32];
     let mut out = String::new();
     for &k in &traversal_counts {
         let mut header = vec!["dataset"];
-        header.extend(TechniqueId::MAIN_EVAL.iter().map(|t| t.name()));
+        header.extend(labels.iter().map(String::as_str));
         let mut t = TextTable::new(
             &format!("Fig. 11: SSSP net speedup (%) with {k} traversal(s)"),
             header,
         );
         for ds in DATASETS {
             let mut row = vec![ds.name().to_owned()];
-            for tech in TechniqueId::MAIN_EVAL {
-                let s = h.net_speedup(AppId::Sssp, ds, tech, k);
+            for tech in &techs {
+                let s = h.net_speedup(&sssp, ds, tech, k);
                 row.push(format!("{:+.1}", (s - 1.0) * 100.0));
             }
             t.row(row);
         }
         let mut gm = vec!["GMean".to_owned()];
-        for tech in TechniqueId::MAIN_EVAL {
+        for tech in &techs {
             let ratios: Vec<f64> = DATASETS
                 .iter()
-                .map(|&ds| h.net_speedup(AppId::Sssp, ds, tech, k))
+                .map(|&ds| h.net_speedup(&sssp, ds, tech, k))
                 .collect();
             gm.push(format!("{:+.1}", (geomean(&ratios) - 1.0) * 100.0));
         }

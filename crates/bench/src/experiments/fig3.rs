@@ -2,29 +2,36 @@
 //! granularities — the structure-preservation probe.
 
 use lgr_analytics::apps::AppId;
-use lgr_core::TechniqueId;
+use lgr_engine::{AppSpec, Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 
-use crate::{Harness, TextTable};
+use crate::TextTable;
 
 /// Regenerates Fig. 3.
-pub fn run(h: &Harness) -> String {
-    let techniques = [
-        TechniqueId::RandomVertex,
-        TechniqueId::RandomCacheBlock(1),
-        TechniqueId::RandomCacheBlock(2),
-        TechniqueId::RandomCacheBlock(4),
-    ];
+pub fn run(h: &Session) -> String {
+    let techniques = h.selected_techniques(&[
+        TechniqueSpec::rv(),
+        TechniqueSpec::rcb(1),
+        TechniqueSpec::rcb(2),
+        TechniqueSpec::rcb(4),
+    ]);
+    let mut apps = h.selected_apps(&[AppSpec::new(AppId::Radii)]);
+    if techniques.is_empty() || apps.is_empty() {
+        return super::skipped("Fig. 3");
+    }
+    // Use the selected spec so `--apps radii:rounds=...` knobs apply.
+    let radii = apps.remove(0);
+    let labels: Vec<String> = techniques.iter().map(TechniqueSpec::label).collect();
     let mut header = vec!["dataset"];
-    header.extend(techniques.iter().map(|t| t.name()));
+    header.extend(labels.iter().map(String::as_str));
     let mut t = TextTable::new(
         "Fig. 3: Radii slowdown (%) after random reordering (higher = worse)",
         header,
     );
     for ds in DatasetId::SKEWED {
         let mut row = vec![ds.name().to_owned()];
-        for &tech in &techniques {
-            let s = h.speedup(AppId::Radii, ds, tech);
+        for tech in &techniques {
+            let s = h.speedup(&radii, ds, tech);
             // Slowdown% = (time_with / time_base - 1) * 100 = (1/s - 1) * 100.
             let slowdown = (1.0 / s - 1.0) * 100.0;
             row.push(format!("{slowdown:.1}"));

@@ -1,24 +1,28 @@
 //! Fig. 5: original implementations of HubSort/HubCluster vs the
 //! paper's grouping-framework reimplementations.
 
-use lgr_analytics::apps::AppId;
-use lgr_core::TechniqueId;
+use lgr_engine::{Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 
 use crate::table::geomean;
-use crate::{Harness, TextTable};
+use crate::TextTable;
 
 /// Regenerates Fig. 5 (per-dataset geometric mean of per-app
 /// speedups, like the paper's bars).
-pub fn run(h: &Harness) -> String {
-    let techniques = [
-        TechniqueId::HubSortO,
-        TechniqueId::HubSort,
-        TechniqueId::HubClusterO,
-        TechniqueId::HubCluster,
-    ];
+pub fn run(h: &Session) -> String {
+    let techniques = h.selected_techniques(&[
+        TechniqueSpec::hubsort_o(),
+        TechniqueSpec::hubsort(),
+        TechniqueSpec::hubcluster_o(),
+        TechniqueSpec::hubcluster(),
+    ]);
+    let apps = h.eval_apps();
+    if techniques.is_empty() || apps.is_empty() {
+        return super::skipped("Fig. 5");
+    }
+    let labels: Vec<String> = techniques.iter().map(TechniqueSpec::label).collect();
     let mut header = vec!["dataset"];
-    header.extend(techniques.iter().map(|t| t.name()));
+    header.extend(labels.iter().map(String::as_str));
     header.push("best");
     let mut t = TextTable::new(
         "Fig. 5: speedup (%) over no reordering, original vs framework implementations",
@@ -28,22 +32,19 @@ pub fn run(h: &Harness) -> String {
     for ds in DatasetId::SKEWED {
         let mut row = vec![ds.name().to_owned()];
         let mut best = f64::MIN;
-        let mut best_name = "";
-        for (i, &tech) in techniques.iter().enumerate() {
-            let ratios: Vec<f64> = AppId::ALL
-                .iter()
-                .map(|&app| h.speedup(app, ds, tech))
-                .collect();
+        let mut best_name = String::new();
+        for (i, tech) in techniques.iter().enumerate() {
+            let ratios: Vec<f64> = apps.iter().map(|app| h.speedup(app, ds, tech)).collect();
             let gm = geomean(&ratios);
             per_tech[i].push(gm);
             let pct = (gm - 1.0) * 100.0;
             row.push(format!("{pct:+.1}"));
             if pct > best {
                 best = pct;
-                best_name = tech.name();
+                best_name = tech.label();
             }
         }
-        row.push(best_name.to_owned());
+        row.push(best_name);
         t.row(row);
     }
     let mut gm_row = vec!["GMean".to_owned()];

@@ -1,41 +1,56 @@
 //! Fig. 6: the main result — application speedup excluding reordering
 //! time, five apps x eight datasets x five techniques.
 
-use lgr_analytics::apps::AppId;
-use lgr_core::TechniqueId;
+use lgr_engine::{AppSpec, Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 
 use crate::table::geomean;
-use crate::{Harness, TextTable};
+use crate::TextTable;
 
 /// Regenerates Fig. 6 (a: unstructured, b: structured), plus the
 /// paper's headline averages.
-pub fn run(h: &Harness) -> String {
+pub fn run(h: &Session) -> String {
+    let techs = h.main_eval();
+    let apps = h.eval_apps();
+    if techs.is_empty() || apps.is_empty() {
+        return super::skipped("Fig. 6");
+    }
     let mut out = String::new();
     out.push_str(&panel(
         h,
+        &techs,
+        &apps,
         "Fig. 6a: speedup (%) excluding reordering time — unstructured datasets",
         &DatasetId::UNSTRUCTURED,
     ));
     out.push('\n');
     out.push_str(&panel(
         h,
+        &techs,
+        &apps,
         "Fig. 6b: speedup (%) excluding reordering time — structured datasets",
         &DatasetId::STRUCTURED,
     ));
     out.push('\n');
-    out.push_str(&summary(h));
+    out.push_str(&summary(h, &techs, &apps));
     out
 }
 
-fn panel(h: &Harness, title: &str, datasets: &[DatasetId]) -> String {
+fn panel(
+    h: &Session,
+    techs: &[TechniqueSpec],
+    apps: &[AppSpec],
+    title: &str,
+    datasets: &[DatasetId],
+) -> String {
+    let labels: Vec<String> = techs.iter().map(TechniqueSpec::label).collect();
     let mut header = vec!["app", "dataset"];
-    header.extend(TechniqueId::MAIN_EVAL.iter().map(|t| t.name()));
+    header.extend(labels.iter().map(String::as_str));
     let mut t = TextTable::new(title, header);
-    for app in AppId::ALL {
+    for app in apps {
         for &ds in datasets {
-            let mut row = vec![app.name().to_owned(), ds.name().to_owned()];
-            for tech in TechniqueId::MAIN_EVAL {
+            let mut row = vec![app.label().to_owned(), ds.name().to_owned()];
+            for tech in techs {
                 let s = h.speedup(app, ds, tech);
                 row.push(format!("{:+.1}", (s - 1.0) * 100.0));
             }
@@ -44,10 +59,10 @@ fn panel(h: &Harness, title: &str, datasets: &[DatasetId]) -> String {
     }
     // Per-technique geomean over this panel.
     let mut gm = vec!["GMean".to_owned(), String::new()];
-    for tech in TechniqueId::MAIN_EVAL {
-        let ratios: Vec<f64> = AppId::ALL
+    for tech in techs {
+        let ratios: Vec<f64> = apps
             .iter()
-            .flat_map(|&app| datasets.iter().map(move |&ds| h.speedup(app, ds, tech)))
+            .flat_map(|app| datasets.iter().map(move |&ds| h.speedup(app, ds, tech)))
             .collect();
         gm.push(format!("{:+.1}", (geomean(&ratios) - 1.0) * 100.0));
     }
@@ -55,21 +70,21 @@ fn panel(h: &Harness, title: &str, datasets: &[DatasetId]) -> String {
     t.to_string()
 }
 
-fn summary(h: &Harness) -> String {
+fn summary(h: &Session, techs: &[TechniqueSpec], apps: &[AppSpec]) -> String {
     let mut t = TextTable::new(
         "Fig. 6 summary: geometric-mean speedup (%) across all 40 datapoints",
         vec!["technique", "all", "unstructured", "structured"],
     );
-    for tech in TechniqueId::MAIN_EVAL {
+    for tech in techs {
         let collect = |dss: &[DatasetId]| -> f64 {
-            let ratios: Vec<f64> = AppId::ALL
+            let ratios: Vec<f64> = apps
                 .iter()
-                .flat_map(|&app| dss.iter().map(move |&ds| h.speedup(app, ds, tech)))
+                .flat_map(|app| dss.iter().map(move |&ds| h.speedup(app, ds, tech)))
                 .collect();
             (geomean(&ratios) - 1.0) * 100.0
         };
         t.row(vec![
-            tech.name().to_owned(),
+            tech.label(),
             format!("{:+.1}", collect(&DatasetId::SKEWED)),
             format!("{:+.1}", collect(&DatasetId::UNSTRUCTURED)),
             format!("{:+.1}", collect(&DatasetId::STRUCTURED)),

@@ -1,35 +1,37 @@
 //! Fig. 7: reordering on no-skew datasets (uni, road).
 
-use lgr_analytics::apps::AppId;
-use lgr_core::TechniqueId;
+use lgr_engine::{Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 
 use crate::table::geomean;
-use crate::{Harness, TextTable};
+use crate::TextTable;
 
 /// Regenerates Fig. 7.
-pub fn run(h: &Harness) -> String {
+pub fn run(h: &Session) -> String {
+    let techs = h.main_eval();
+    let apps = h.eval_apps();
+    if techs.is_empty() || apps.is_empty() {
+        return super::skipped("Fig. 7");
+    }
+    let labels: Vec<String> = techs.iter().map(TechniqueSpec::label).collect();
     let mut header = vec!["dataset", "app"];
-    header.extend(TechniqueId::MAIN_EVAL.iter().map(|t| t.name()));
+    header.extend(labels.iter().map(String::as_str));
     let mut t = TextTable::new(
         "Fig. 7: speedup (%) on no-skew datasets (skew-aware techniques should be ~neutral)",
         header,
     );
     for ds in DatasetId::NO_SKEW {
-        for app in AppId::ALL {
-            let mut row = vec![ds.name().to_owned(), app.name().to_owned()];
-            for tech in TechniqueId::MAIN_EVAL {
+        for app in &apps {
+            let mut row = vec![ds.name().to_owned(), app.label().to_owned()];
+            for tech in &techs {
                 let s = h.speedup(app, ds, tech);
                 row.push(format!("{:+.1}", (s - 1.0) * 100.0));
             }
             t.row(row);
         }
         let mut gm = vec![ds.name().to_owned(), "GMean".to_owned()];
-        for tech in TechniqueId::MAIN_EVAL {
-            let ratios: Vec<f64> = AppId::ALL
-                .iter()
-                .map(|&app| h.speedup(app, ds, tech))
-                .collect();
+        for tech in &techs {
+            let ratios: Vec<f64> = apps.iter().map(|app| h.speedup(app, ds, tech)).collect();
             gm.push(format!("{:+.1}", (geomean(&ratios) - 1.0) * 100.0));
         }
         t.row(gm);

@@ -1,22 +1,38 @@
 //! Fig. 8: L1/L2/L3 MPKI for PageRank across datasets and orderings.
 
 use lgr_analytics::apps::AppId;
-use lgr_core::TechniqueId;
+use lgr_engine::{AppSpec, Job, Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 
-use crate::{Harness, TextTable};
-
-const ORDERINGS: [Option<TechniqueId>; 6] = [
-    None,
-    Some(TechniqueId::Sort),
-    Some(TechniqueId::HubSort),
-    Some(TechniqueId::HubCluster),
-    Some(TechniqueId::Dbg),
-    Some(TechniqueId::Gorder),
-];
+use crate::TextTable;
 
 /// Regenerates Fig. 8 (three panels: L1, L2, L3 MPKI).
-pub fn run(h: &Harness) -> String {
+pub fn run(h: &Session) -> String {
+    let techs = h.main_eval();
+    let mut apps = h.selected_apps(&[AppSpec::new(AppId::Pr)]);
+    if techs.is_empty() || apps.is_empty() {
+        return super::skipped("Fig. 8");
+    }
+    // Use the selected spec so `--apps pr:iters=...` knobs apply.
+    let pr = apps.remove(0);
+    // The untouched ordering is always the leading column; drop an
+    // explicit `orig` from the roster so it isn't shown (and its
+    // identity permutation not applied) twice.
+    let orderings: Vec<Option<TechniqueSpec>> = std::iter::once(None)
+        .chain(
+            techs
+                .into_iter()
+                .filter(|t| *t != TechniqueSpec::original())
+                .map(Some),
+        )
+        .collect();
+    let labels: Vec<String> = orderings
+        .iter()
+        .map(|o| {
+            o.as_ref()
+                .map_or_else(|| "Original".to_owned(), TechniqueSpec::label)
+        })
+        .collect();
     let mut out = String::new();
     for (level, title) in [
         (0usize, "Fig. 8a: L1 MPKI for PR"),
@@ -24,16 +40,16 @@ pub fn run(h: &Harness) -> String {
         (2, "Fig. 8c: L3 MPKI for PR"),
     ] {
         let mut header = vec!["dataset"];
-        header.extend(
-            ORDERINGS
-                .iter()
-                .map(|o| o.map_or("Original", TechniqueId::name)),
-        );
+        header.extend(labels.iter().map(String::as_str));
         let mut t = TextTable::new(title, header);
         for ds in DatasetId::SKEWED {
             let mut row = vec![ds.name().to_owned()];
-            for &ord in &ORDERINGS {
-                let stats = h.run(AppId::Pr, ds, ord).stats;
+            for ord in &orderings {
+                let mut job = Job::new(pr.clone(), ds);
+                if let Some(spec) = ord {
+                    job = job.with_technique(spec.clone());
+                }
+                let stats = h.run(&job).stats;
                 row.push(format!("{:.1}", stats.mpki()[level]));
             }
             t.row(row);

@@ -2,19 +2,24 @@
 //! (SSSP, PRD), original ordering vs DBG.
 
 use lgr_analytics::apps::AppId;
-use lgr_core::TechniqueId;
+use lgr_engine::{AppSpec, Job, Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 
 use crate::table::pct;
-use crate::{Harness, TextTable};
+use crate::TextTable;
 
 /// Regenerates Fig. 9.
-pub fn run(h: &Harness) -> String {
+pub fn run(h: &Session) -> String {
+    let apps = h.selected_apps(&[AppSpec::new(AppId::Sssp), AppSpec::new(AppId::Prd)]);
+    let dbg = h.selected_techniques(&[TechniqueSpec::dbg()]);
+    if apps.is_empty() || dbg.is_empty() {
+        return super::skipped("Fig. 9");
+    }
     let mut out = String::new();
     for (tech, title) in [
         (None, "Fig. 9a: L2 miss break-up (%) — original ordering"),
         (
-            Some(TechniqueId::Dbg),
+            Some(TechniqueSpec::dbg()),
             "Fig. 9b: L2 miss break-up (%) — DBG reordering",
         ),
     ] {
@@ -29,12 +34,16 @@ pub fn run(h: &Harness) -> String {
                 "off-chip",
             ],
         );
-        for app in [AppId::Sssp, AppId::Prd] {
+        for app in &apps {
             for ds in DatasetId::SKEWED {
-                let stats = h.run(app, ds, tech).stats;
+                let mut job = Job::new(app.clone(), ds);
+                if let Some(spec) = &tech {
+                    job = job.with_technique(spec.clone());
+                }
+                let stats = h.run(&job).stats;
                 let f = stats.l2_breakdown.fractions();
                 t.row(vec![
-                    app.name().to_owned(),
+                    app.label().to_owned(),
                     ds.name().to_owned(),
                     pct(f[0]),
                     pct(f[1]),

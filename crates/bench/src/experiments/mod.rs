@@ -20,7 +20,7 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 
-use crate::Harness;
+use lgr_engine::Session;
 
 /// An experiment the `repro` binary can run.
 #[derive(Debug, Clone, Copy)]
@@ -30,7 +30,13 @@ pub struct Experiment {
     /// What the paper's artifact shows.
     pub description: &'static str,
     /// Entry point.
-    pub run: fn(&Harness) -> String,
+    pub run: fn(&Session) -> String,
+}
+
+/// Placeholder report for an experiment whose entire roster was
+/// excluded by the `--techniques` / `--apps` selection.
+pub(crate) fn skipped(title: &str) -> String {
+    format!("{title}: skipped (nothing selected by --techniques/--apps)\n")
 }
 
 /// Every reproduced experiment, in paper order.

@@ -1,36 +1,43 @@
 //! Table XI: reordering time of the HubSort/HubCluster variants,
 //! normalized to Sort.
 
-use lgr_core::TechniqueId;
+use lgr_engine::{Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 use lgr_graph::DegreeKind;
 
-use crate::{Harness, TextTable};
+use crate::TextTable;
 
 /// Regenerates Table XI.
-pub fn run(h: &Harness) -> String {
-    let techniques = [
-        TechniqueId::HubSortO,
-        TechniqueId::HubSort,
-        TechniqueId::HubClusterO,
-        TechniqueId::HubCluster,
-        TechniqueId::Dbg,
-    ];
+pub fn run(h: &Session) -> String {
+    let techniques = h.selected_techniques(&[
+        TechniqueSpec::hubsort_o(),
+        TechniqueSpec::hubsort(),
+        TechniqueSpec::hubcluster_o(),
+        TechniqueSpec::hubcluster(),
+        TechniqueSpec::dbg(),
+    ]);
+    if techniques.is_empty() {
+        return super::skipped("Table XI");
+    }
+    let sort = TechniqueSpec::sort();
     let mut header = vec!["technique"];
     header.extend(DatasetId::SKEWED.iter().map(|d| d.name()));
     let mut t = TextTable::new(
         "Table XI: reordering time normalized to Sort (lower is better)",
         header,
     );
-    for tech in techniques {
-        let mut row = vec![tech.name().to_owned()];
+    for tech in &techniques {
+        let mut row = vec![tech.label()];
         for ds in DatasetId::SKEWED {
-            let sort = h
-                .reorder(ds, TechniqueId::Sort, DegreeKind::Out)
+            let sort_secs = h
+                .dataset_reorder(ds, &sort, DegreeKind::Out)
                 .elapsed
                 .as_secs_f64();
-            let this = h.reorder(ds, tech, DegreeKind::Out).elapsed.as_secs_f64();
-            row.push(format!("{:.2}", this / sort.max(1e-9)));
+            let this = h
+                .dataset_reorder(ds, tech, DegreeKind::Out)
+                .elapsed
+                .as_secs_f64();
+            row.push(format!("{:.2}", this / sort_secs.max(1e-9)));
         }
         t.row(row);
     }

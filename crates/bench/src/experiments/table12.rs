@@ -2,30 +2,43 @@
 //! technique's reordering time.
 
 use lgr_analytics::apps::AppId;
-use lgr_core::TechniqueId;
+use lgr_engine::{AppSpec, Job, Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 
 use crate::experiments::fig10::DATASETS;
-use crate::{Harness, TextTable};
+use crate::TextTable;
 
 /// Regenerates Table XII.
-pub fn run(h: &Harness) -> String {
+pub fn run(h: &Session) -> String {
+    let techs = h.main_eval();
+    let mut apps = h.selected_apps(&[AppSpec::new(AppId::Pr)]);
+    if techs.is_empty() || apps.is_empty() {
+        return super::skipped("Table XII");
+    }
+    // Use the selected spec so `--apps pr:iters=...` knobs apply.
+    let pr = apps.remove(0);
+    let labels: Vec<String> = techs.iter().map(TechniqueSpec::label).collect();
     let mut header = vec!["dataset"];
-    header.extend(TechniqueId::MAIN_EVAL.iter().map(|t| t.name()));
+    header.extend(labels.iter().map(String::as_str));
     let mut t = TextTable::new(
         "Table XII: minimum PR iterations to amortize reordering time",
         header,
     );
-    let per_iter = |ds: DatasetId, tech: Option<TechniqueId>| -> f64 {
-        h.run(AppId::Pr, ds, tech).cycles() as f64 / h.config().pr_iters.max(1) as f64
+    let per_iter = |ds: DatasetId, tech: Option<&TechniqueSpec>| -> f64 {
+        let mut job = Job::new(pr.clone(), ds);
+        if let Some(spec) = tech {
+            job = job.with_technique(spec.clone());
+        }
+        let iters = pr.iters().unwrap_or(h.config().pr_iters);
+        h.run(&job).cycles() as f64 / iters.max(1) as f64
     };
     for ds in DATASETS {
         let base = per_iter(ds, None);
         let mut row = vec![ds.name().to_owned()];
-        for tech in TechniqueId::MAIN_EVAL {
+        for tech in &techs {
             let with = per_iter(ds, Some(tech));
             let saving = base - with;
-            let reorder = h.reorder(ds, tech, AppId::Pr.reorder_degree());
+            let reorder = h.dataset_reorder(ds, tech, AppId::Pr.reorder_degree());
             let reorder_cycles = h.wall_to_cycles(ds, reorder.elapsed) as f64;
             row.push(if saving <= 0.0 {
                 "never".to_owned()

@@ -4,10 +4,12 @@
 use lgr_graph::datasets::DatasetId;
 use lgr_graph::stats::hot_vertices_per_block;
 
-use crate::{Harness, TextTable};
+use lgr_engine::Session;
+
+use crate::TextTable;
 
 /// Regenerates Table II.
-pub fn run(h: &Harness) -> String {
+pub fn run(h: &Session) -> String {
     let mut header = vec!["metric"];
     header.extend(DatasetId::SKEWED.iter().map(|d| d.name()));
     let mut t = TextTable::new(

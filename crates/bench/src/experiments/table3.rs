@@ -3,10 +3,12 @@
 use lgr_graph::datasets::DatasetId;
 use lgr_graph::stats::hot_footprint_mib;
 
-use crate::{Harness, TextTable};
+use lgr_engine::Session;
+
+use crate::TextTable;
 
 /// Regenerates Table III.
-pub fn run(h: &Harness) -> String {
+pub fn run(h: &Session) -> String {
     let mut header = vec!["per-vertex property"];
     header.extend(DatasetId::SKEWED.iter().map(|d| d.name()));
     let mut t = TextTable::new(

@@ -4,10 +4,12 @@ use lgr_graph::datasets::DatasetId;
 use lgr_graph::stats::DegreeRangeDist;
 
 use crate::table::pct;
-use crate::{Harness, TextTable};
+use lgr_engine::Session;
+
+use crate::TextTable;
 
 /// Regenerates Table IV.
-pub fn run(h: &Harness) -> String {
+pub fn run(h: &Session) -> String {
     let g = h.graph(DatasetId::Sd);
     let dist = DegreeRangeDist::compute(&g.out_degrees(), 6, 8);
     let mut header = vec!["metric".to_owned()];

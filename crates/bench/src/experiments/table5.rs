@@ -5,11 +5,13 @@ use lgr_core::framework::GroupingSpec;
 use lgr_graph::datasets::DatasetId;
 use lgr_graph::DegreeKind;
 
-use crate::{Harness, TextTable};
+use lgr_engine::Session;
+
+use crate::TextTable;
 
 /// Regenerates Table V (group counts for the `sd` dataset's actual
 /// degree statistics).
-pub fn run(h: &Harness) -> String {
+pub fn run(h: &Session) -> String {
     let g = h.graph(DatasetId::Sd);
     let degrees = DegreeKind::Out.degrees(&g);
     let avg = lgr_graph::average_degree(&degrees);

@@ -1,486 +1,126 @@
-//! Shared machinery: dataset/permutation/run caching and the paper's
-//! measurement methodology.
+//! Legacy [`Harness`] compatibility layer over [`lgr_engine::Session`].
+//!
+//! The pool, the graph / permutation / reordered-CSR / root caches,
+//! and the measurement methodology all live in [`lgr_engine::Session`]
+//! now; `Harness` remains as a thin, deprecated adapter that keeps the
+//! original `TechniqueId`-keyed API compiling. New code — including
+//! every experiment module in this crate — should use [`Session`] and
+//! [`lgr_engine::TechniqueSpec`] /
+//! [`lgr_engine::AppSpec`] directly; see the facade crate's
+//! migration notes for the old-call → spec mapping.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use lgr_analytics::apps::bc::{bc_with_arrays, BcArrays};
-use lgr_analytics::apps::pagerank::{pagerank_with_arrays, PrArrays};
-use lgr_analytics::apps::pagerank_delta::{pagerank_delta_with_arrays, PrdArrays};
-use lgr_analytics::apps::radii::{radii_with_arrays, RadiiArrays};
-use lgr_analytics::apps::sssp::{sssp_with_arrays, SsspArrays};
-use lgr_analytics::apps::{AppId, BcConfig, PrConfig, PrdConfig, RadiiConfig, SsspConfig};
-use lgr_cachesim::{MemoryLayout, MemorySim, NullTracer, SimConfig, SimStats};
-use lgr_core::{
-    Dbg, Gorder, HubCluster, HubClusterOriginal, HubSort, HubSortOriginal, Identity,
-    RandomCacheBlock, RandomVertex, ReorderingTechnique, Sort, TechniqueId, TimedReorder,
-};
-use lgr_graph::datasets::{self, DatasetId, DatasetScale};
+use lgr_analytics::apps::AppId;
+use lgr_core::{ReorderingTechnique, TechniqueId, TimedReorder};
+use lgr_engine::{AppSpec, Job, Session, TechniqueSpec};
+use lgr_graph::datasets::DatasetId;
 use lgr_graph::{Csr, DegreeKind, VertexId};
 use lgr_parallel::Pool;
 
-/// Harness-wide knobs.
-#[derive(Debug, Clone, Copy)]
-pub struct HarnessConfig {
-    /// Dataset scale (vertex count of `sd`; others keep Table IX
-    /// ratios).
-    pub scale: DatasetScale,
-    /// Simulated machine.
-    pub sim: SimConfig,
-    /// Roots aggregated per root-dependent app run (the paper uses 8).
-    pub roots: usize,
-    /// Fixed PageRank iterations per traced run.
-    pub pr_iters: usize,
-    /// PageRank-Delta iteration cap.
-    pub prd_iters: usize,
-    /// Radii round cap.
-    pub radii_rounds: usize,
-    /// Print progress lines to stderr.
-    pub verbose: bool,
-}
+/// Deprecated alias: session knobs under the harness's historical
+/// name. Use [`lgr_engine::SessionConfig`] in new code.
+pub type HarnessConfig = lgr_engine::SessionConfig;
 
-impl Default for HarnessConfig {
-    fn default() -> Self {
-        HarnessConfig {
-            scale: DatasetScale::with_sd_vertices(1 << 17),
-            sim: SimConfig::default(),
-            roots: 2,
-            pr_iters: 3,
-            prd_iters: 5,
-            radii_rounds: 1024,
-            verbose: false,
-        }
-    }
-}
+/// Deprecated re-export: one traced run's outcome.
+pub use lgr_engine::RunStats;
 
-impl HarnessConfig {
-    /// A tiny configuration for smoke tests and CI. The scale is
-    /// chosen so `repro --quick all` finishes in well under a minute
-    /// even in debug builds (the full suite simulates every app on
-    /// every dataset).
-    pub fn quick() -> Self {
-        HarnessConfig {
-            scale: DatasetScale::with_sd_vertices(1 << 11),
-            roots: 1,
-            pr_iters: 2,
-            prd_iters: 3,
-            radii_rounds: 256,
-            ..Default::default()
-        }
-    }
-
-    /// Overrides the scale exponent: `sd` gets `2^exp` vertices.
-    pub fn with_scale_exp(mut self, exp: u32) -> Self {
-        self.scale = DatasetScale::with_sd_vertices(1usize << exp);
-        self
-    }
-}
-
-/// One traced run's outcome.
-#[derive(Debug, Clone, Copy)]
-pub struct RunStats {
-    /// Simulator statistics (MPKI, breakdowns, cycles).
-    pub stats: SimStats,
-}
-
-impl RunStats {
-    /// Estimated execution cycles.
-    pub fn cycles(&self) -> u64 {
-        self.stats.cycles
-    }
-}
-
-type ReorderKey = (DatasetId, TechniqueId, DegreeKind);
-type RunKey = (AppId, DatasetId, Option<TechniqueId>);
-
-/// Caching driver shared by every experiment.
+/// Deprecated adapter translating the closed [`TechniqueId`] enum API
+/// onto the string-addressable [`Session`] engine. Every method
+/// delegates; the only state is the wrapped session.
+#[derive(Debug)]
 pub struct Harness {
-    cfg: HarnessConfig,
-    /// Worker pool shared by every CSR build, permutation apply, and
-    /// framework reordering the harness performs. Sized by the
-    /// `LGR_THREADS` knob (default: available parallelism).
-    pool: Pool,
-    graphs: RefCell<HashMap<DatasetId, Rc<Csr>>>,
-    reorders: RefCell<HashMap<ReorderKey, Rc<TimedReorder>>>,
-    /// Reordered CSRs, cached under the same canonicalized key as the
-    /// permutations that produced them — rebuilding the graph per
-    /// `run`/`wall` call was the single biggest repeated cost of the
-    /// repro pipeline.
-    reordered: RefCell<HashMap<ReorderKey, Rc<Csr>>>,
-    /// Per-dataset root candidates (vertices with both edge
-    /// directions), so the O(V) scan runs once per dataset rather than
-    /// once per prepared run.
-    root_candidates: RefCell<HashMap<DatasetId, Rc<Vec<VertexId>>>>,
-    runs: RefCell<HashMap<RunKey, Rc<RunStats>>>,
-    walls: RefCell<HashMap<RunKey, Duration>>,
-}
-
-impl std::fmt::Debug for Harness {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Harness").field("cfg", &self.cfg).finish()
-    }
+    session: Session,
 }
 
 impl Harness {
     /// A harness with the given configuration.
     pub fn new(cfg: HarnessConfig) -> Self {
         Harness {
-            cfg,
-            pool: Pool::with_default_threads(),
-            graphs: RefCell::new(HashMap::new()),
-            reorders: RefCell::new(HashMap::new()),
-            reordered: RefCell::new(HashMap::new()),
-            root_candidates: RefCell::new(HashMap::new()),
-            runs: RefCell::new(HashMap::new()),
-            walls: RefCell::new(HashMap::new()),
+            session: Session::new(cfg),
         }
+    }
+
+    /// The wrapped engine session (the API new code should target).
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 
     /// The worker pool shared by the harness's graph-construction and
     /// reordering work.
     pub fn pool(&self) -> &Pool {
-        &self.pool
+        self.session.pool()
     }
 
     /// The active configuration.
     pub fn config(&self) -> &HarnessConfig {
-        &self.cfg
+        self.session.config()
     }
 
-    fn log(&self, msg: &str) {
-        if self.cfg.verbose {
-            eprintln!("[repro] {msg}");
-        }
-    }
-
-    /// The dataset's graph in its original ordering. Weights are
-    /// always attached (SSSP uses them; other apps ignore them).
+    /// The dataset's graph in its original ordering.
     pub fn graph(&self, ds: DatasetId) -> Rc<Csr> {
-        if let Some(g) = self.graphs.borrow().get(&ds) {
-            return Rc::clone(g);
-        }
-        self.log(&format!("building dataset {}", ds.name()));
-        let mut el = datasets::build(ds, self.cfg.scale);
-        el.randomize_weights(64, 0xC0FFEE ^ ds as u64);
-        let g = Rc::new(Csr::from_edge_list_with(&el, &self.pool));
-        self.graphs.borrow_mut().insert(ds, Rc::clone(&g));
-        g
+        self.session.graph(ds)
     }
 
     /// Instantiates a technique by ID.
     pub fn technique(&self, id: TechniqueId) -> Box<dyn ReorderingTechnique> {
-        match id {
-            TechniqueId::Original => Box::new(Identity),
-            TechniqueId::Sort => Box::new(Sort::new()),
-            TechniqueId::HubSort => Box::new(HubSort::new()),
-            TechniqueId::HubCluster => Box::new(HubCluster::new()),
-            TechniqueId::Dbg => Box::new(Dbg::default()),
-            TechniqueId::Gorder => Box::new(Gorder::new()),
-            TechniqueId::GorderDbg => Box::new(lgr_core::gorder_dbg()),
-            TechniqueId::HubSortO => Box::new(HubSortOriginal::new()),
-            TechniqueId::HubClusterO => Box::new(HubClusterOriginal::new()),
-            TechniqueId::RandomVertex => Box::new(RandomVertex::new(0xDECAF)),
-            TechniqueId::RandomCacheBlock(n) => {
-                Box::new(RandomCacheBlock::new(n as usize, 0xDECAF))
-            }
-        }
-    }
-
-    /// Degree-kind canonicalization: techniques that ignore the degree
-    /// kind share one cached permutation.
-    fn canonical_kind(id: TechniqueId, kind: DegreeKind) -> DegreeKind {
-        match id {
-            TechniqueId::Gorder
-            | TechniqueId::HubSortO
-            | TechniqueId::HubClusterO
-            | TechniqueId::RandomVertex
-            | TechniqueId::RandomCacheBlock(_)
-            | TechniqueId::Original => DegreeKind::Out,
-            _ => kind,
-        }
+        self.session
+            .technique(&TechniqueSpec::from(id))
+            .expect("every TechniqueId maps to a built-in spec")
     }
 
     /// The (timed) permutation for `tech` on `ds` using `kind`
     /// degrees, cached.
     pub fn reorder(&self, ds: DatasetId, tech: TechniqueId, kind: DegreeKind) -> Rc<TimedReorder> {
-        let key = (ds, tech, Self::canonical_kind(tech, kind));
-        if let Some(r) = self.reorders.borrow().get(&key) {
-            return Rc::clone(r);
-        }
-        let graph = self.graph(ds);
-        self.log(&format!("reordering {} with {}", ds.name(), tech.name()));
-        let t = self.technique(tech);
-        let timed = Rc::new(TimedReorder::run_with(
-            t.as_ref(),
-            &graph,
-            key.2,
-            &self.pool,
-        ));
-        self.reorders.borrow_mut().insert(key, Rc::clone(&timed));
-        timed
+        self.session
+            .dataset_reorder(ds, &TechniqueSpec::from(tech), kind)
     }
 
     /// The reordered CSR for `tech` on `ds` using `kind` degrees,
-    /// cached under the same canonicalized key as the permutation so
-    /// every `run`/`wall` call on the same (dataset, technique) pair
-    /// reuses one relabeled graph.
+    /// cached.
     pub fn reordered_graph(&self, ds: DatasetId, tech: TechniqueId, kind: DegreeKind) -> Rc<Csr> {
-        let key = (ds, tech, Self::canonical_kind(tech, kind));
-        if let Some(g) = self.reordered.borrow().get(&key) {
-            return Rc::clone(g);
-        }
-        let base = self.graph(ds);
-        let timed = self.reorder(ds, tech, kind);
-        self.log(&format!("rebuilding {} under {}", ds.name(), tech.name()));
-        let g = Rc::new(base.apply_permutation_with(&timed.permutation, &self.pool));
-        self.reordered.borrow_mut().insert(key, Rc::clone(&g));
-        g
+        self.session
+            .reordered_graph(ds, &TechniqueSpec::from(tech), kind)
     }
 
-    /// The dataset's root candidates (vertices with both in- and
-    /// out-edges), cached.
-    fn root_candidates(&self, ds: DatasetId) -> Rc<Vec<VertexId>> {
-        if let Some(c) = self.root_candidates.borrow().get(&ds) {
-            return Rc::clone(c);
-        }
-        let g = self.graph(ds);
-        let candidates: Rc<Vec<VertexId>> = Rc::new(
-            (0..g.num_vertices() as VertexId)
-                .filter(|&v| g.out_degree(v) > 0 && g.in_degree(v) > 0)
-                .collect(),
-        );
-        self.root_candidates
-            .borrow_mut()
-            .insert(ds, Rc::clone(&candidates));
-        candidates
-    }
-
-    /// Deterministic roots on the ORIGINAL graph: vertices with both
-    /// in- and out-edges, evenly spaced through the ID range. Returns
-    /// at most one root per candidate — when `count` exceeds the
-    /// candidate pool the result is the whole pool, never duplicated
-    /// roots (a duplicate would double-charge its traversal in the
-    /// aggregated simulation).
+    /// Deterministic roots on the ORIGINAL graph.
     pub fn roots(&self, ds: DatasetId, count: usize) -> Vec<VertexId> {
-        let candidates = self.root_candidates(ds);
-        if candidates.is_empty() {
-            return vec![0];
-        }
-        let k = count.max(1).min(candidates.len());
-        (0..k)
-            .map(|i| {
-                let idx = (i * candidates.len() / k + candidates.len() / (2 * k))
-                    .min(candidates.len() - 1);
-                candidates[idx]
-            })
-            .collect()
+        self.session.roots(ds, count)
     }
 
     /// Traced run of `app` on `ds` under `tech` (`None` = original
-    /// ordering), cached. Root-dependent apps aggregate
-    /// `cfg.roots` traversals into one simulation, mirroring the
-    /// paper's methodology.
+    /// ordering), cached.
     pub fn run(&self, app: AppId, ds: DatasetId, tech: Option<TechniqueId>) -> Rc<RunStats> {
-        let key = (app, ds, tech);
-        if let Some(r) = self.runs.borrow().get(&key) {
-            return Rc::clone(r);
-        }
-        self.log(&format!(
-            "tracing {} on {} / {}",
-            app.name(),
-            ds.name(),
-            tech.map_or("Original", TechniqueId::name)
-        ));
-        let base = self.graph(ds);
-        let (graph, roots) = self.prepared(app, ds, tech, &base);
-        let stats = self.run_traced(app, &graph, &roots);
-        let r = Rc::new(RunStats { stats });
-        self.runs.borrow_mut().insert(key, Rc::clone(&r));
-        r
+        self.session.run(&job(app, ds, tech))
     }
 
     /// Untraced wall-clock run (same work as [`Harness::run`]), cached.
     pub fn wall(&self, app: AppId, ds: DatasetId, tech: Option<TechniqueId>) -> Duration {
-        let key = (app, ds, tech);
-        if let Some(d) = self.walls.borrow().get(&key) {
-            return *d;
-        }
-        let base = self.graph(ds);
-        let (graph, roots) = self.prepared(app, ds, tech, &base);
-        let start = Instant::now();
-        self.run_untraced(app, &graph, &roots);
-        let elapsed = start.elapsed();
-        self.walls.borrow_mut().insert(key, elapsed);
-        elapsed
-    }
-
-    /// Builds the (possibly reordered) graph and maps roots through the
-    /// permutation.
-    fn prepared(
-        &self,
-        app: AppId,
-        ds: DatasetId,
-        tech: Option<TechniqueId>,
-        base: &Rc<Csr>,
-    ) -> (Rc<Csr>, Vec<VertexId>) {
-        // Radii needs its 64 BFS sources fixed in *logical* vertex
-        // terms so every ordering computes the same problem.
-        let count = if app == AppId::Radii {
-            64
-        } else {
-            self.cfg.roots
-        };
-        let roots = self.roots(ds, count);
-        match tech {
-            None => (Rc::clone(base), roots),
-            Some(t) => {
-                let kind = app.reorder_degree();
-                let timed = self.reorder(ds, t, kind);
-                let g = self.reordered_graph(ds, t, kind);
-                let mapped = roots.iter().map(|&r| timed.permutation.new_id(r)).collect();
-                (g, mapped)
-            }
-        }
-    }
-
-    fn pr_config(&self) -> PrConfig {
-        PrConfig {
-            max_iters: self.cfg.pr_iters,
-            tolerance: 0.0,
-            cores: self.cfg.sim.cores,
-            ..Default::default()
-        }
-    }
-
-    fn prd_config(&self) -> PrdConfig {
-        PrdConfig {
-            max_iters: self.cfg.prd_iters,
-            cores: self.cfg.sim.cores,
-            ..Default::default()
-        }
-    }
-
-    fn radii_config(&self, sources: &[VertexId]) -> RadiiConfig {
-        RadiiConfig {
-            max_rounds: self.cfg.radii_rounds,
-            cores: self.cfg.sim.cores,
-            ..Default::default()
-        }
-        .with_sources(sources.to_vec())
-    }
-
-    /// Runs `app` on the simulator, registering its arrays first.
-    fn run_traced(&self, app: AppId, graph: &Csr, roots: &[VertexId]) -> SimStats {
-        let cores = self.cfg.sim.cores;
-        let mut layout = MemoryLayout::new();
-        match app {
-            AppId::Pr => {
-                let arrays = PrArrays::register(&mut layout, graph);
-                let mut sim = MemorySim::new(self.cfg.sim, layout);
-                pagerank_with_arrays(graph, &self.pr_config(), &arrays, &mut sim);
-                *sim.stats()
-            }
-            AppId::Prd => {
-                let arrays = PrdArrays::register(&mut layout, graph);
-                let mut sim = MemorySim::new(self.cfg.sim, layout);
-                pagerank_delta_with_arrays(graph, &self.prd_config(), &arrays, &mut sim);
-                *sim.stats()
-            }
-            AppId::Sssp => {
-                let arrays = SsspArrays::register(&mut layout, graph);
-                let mut sim = MemorySim::new(self.cfg.sim, layout);
-                for &r in roots {
-                    let cfg = SsspConfig {
-                        cores,
-                        ..SsspConfig::from_root(r)
-                    };
-                    sssp_with_arrays(graph, &cfg, &arrays, &mut sim);
-                }
-                *sim.stats()
-            }
-            AppId::Bc => {
-                let arrays = BcArrays::register(&mut layout, graph);
-                let mut sim = MemorySim::new(self.cfg.sim, layout);
-                for &r in roots {
-                    let cfg = BcConfig { root: r, cores };
-                    bc_with_arrays(graph, &cfg, &arrays, &mut sim);
-                }
-                *sim.stats()
-            }
-            AppId::Radii => {
-                let arrays = RadiiArrays::register(&mut layout, graph);
-                let mut sim = MemorySim::new(self.cfg.sim, layout);
-                radii_with_arrays(graph, &self.radii_config(roots), &arrays, &mut sim);
-                *sim.stats()
-            }
-        }
-    }
-
-    /// Runs `app` with the null tracer (host-speed execution).
-    fn run_untraced(&self, app: AppId, graph: &Csr, roots: &[VertexId]) {
-        let cores = self.cfg.sim.cores;
-        let mut t = NullTracer;
-        match app {
-            AppId::Pr => {
-                lgr_analytics::apps::pagerank(graph, &self.pr_config(), &mut t);
-            }
-            AppId::Prd => {
-                lgr_analytics::apps::pagerank_delta(graph, &self.prd_config(), &mut t);
-            }
-            AppId::Sssp => {
-                for &r in roots {
-                    let cfg = SsspConfig {
-                        cores,
-                        ..SsspConfig::from_root(r)
-                    };
-                    lgr_analytics::apps::sssp(graph, &cfg, &mut t);
-                }
-            }
-            AppId::Bc => {
-                for &r in roots {
-                    let cfg = BcConfig { root: r, cores };
-                    lgr_analytics::apps::bc(graph, &cfg, &mut t);
-                }
-            }
-            AppId::Radii => {
-                lgr_analytics::apps::radii(graph, &self.radii_config(roots), &mut t);
-            }
-        }
+        self.session.wall(&job(app, ds, tech))
     }
 
     /// Traced PageRank cycles on an arbitrary (already reordered)
-    /// graph — used by ablations that sweep technique parameters
-    /// outside the [`TechniqueId`] registry.
+    /// graph.
     pub fn simulate_pr(&self, graph: &Csr) -> u64 {
-        self.run_traced(AppId::Pr, graph, &[]).cycles
+        self.session.simulate_pr(graph)
     }
 
     /// Speedup factor of `tech` over the original ordering for
     /// `app` x `ds`, excluding reordering time (Fig. 6's metric).
     pub fn speedup(&self, app: AppId, ds: DatasetId, tech: TechniqueId) -> f64 {
-        let base = self.run(app, ds, None).cycles() as f64;
-        let with = self.run(app, ds, Some(tech)).cycles() as f64;
-        base / with.max(1.0)
+        self.session
+            .speedup(&AppSpec::new(app), ds, &TechniqueSpec::from(tech))
     }
 
     /// Converts a wall-clock duration into simulated cycles using the
-    /// dataset's PageRank calibration: the same PR work is both
-    /// simulated (cycles) and executed on the host (seconds); their
-    /// ratio is the exchange rate. This lets measured reordering times
-    /// be charged against simulated application cycles (Figs. 10–11,
-    /// Table XII).
+    /// dataset's PageRank calibration.
     pub fn wall_to_cycles(&self, ds: DatasetId, wall: Duration) -> u64 {
-        let sim_cycles = self.run(AppId::Pr, ds, None).cycles() as f64;
-        let host_secs = self.wall(AppId::Pr, ds, None).as_secs_f64().max(1e-9);
-        let rate = sim_cycles / host_secs;
-        (wall.as_secs_f64() * rate) as u64
+        self.session.wall_to_cycles(ds, wall)
     }
 
     /// Net speedup including reordering time, amortized over
-    /// `traversals` repetitions of the app run (Figs. 10–11):
-    /// `base * T / (reorder + with * T)`.
+    /// `traversals` repetitions of the app run (Figs. 10–11).
     pub fn net_speedup(
         &self,
         app: AppId,
@@ -488,17 +128,27 @@ impl Harness {
         tech: TechniqueId,
         traversals: u64,
     ) -> f64 {
-        let base = self.run(app, ds, None).cycles() as f64;
-        let with = self.run(app, ds, Some(tech)).cycles() as f64;
-        let reorder = self.reorder(ds, tech, app.reorder_degree());
-        let reorder_cycles = self.wall_to_cycles(ds, reorder.elapsed) as f64;
-        (base * traversals as f64) / (reorder_cycles + with * traversals as f64)
+        self.session.net_speedup(
+            &AppSpec::new(app),
+            ds,
+            &TechniqueSpec::from(tech),
+            traversals,
+        )
     }
+}
+
+fn job(app: AppId, ds: DatasetId, tech: Option<TechniqueId>) -> Job {
+    let mut j = Job::new(AppSpec::new(app), ds);
+    if let Some(t) = tech {
+        j = j.with_technique(TechniqueSpec::from(t));
+    }
+    j
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lgr_graph::datasets::DatasetScale;
 
     fn tiny() -> Harness {
         let mut cfg = HarnessConfig::quick();
@@ -523,6 +173,18 @@ mod tests {
         let c = h.reorder(DatasetId::Lj, TechniqueId::Dbg, DegreeKind::In);
         let d = h.reorder(DatasetId::Lj, TechniqueId::Dbg, DegreeKind::Out);
         assert!(!Rc::ptr_eq(&c, &d), "DBG is degree-kind sensitive");
+    }
+
+    #[test]
+    fn id_and_spec_paths_share_one_cache() {
+        let h = tiny();
+        // The deprecated enum path and the spec path must resolve to
+        // the same cached entries — the adapter adds no second world.
+        let a = h.reorder(DatasetId::Lj, TechniqueId::Dbg, DegreeKind::Out);
+        let b =
+            h.session()
+                .dataset_reorder(DatasetId::Lj, &"dbg".parse().unwrap(), DegreeKind::Out);
+        assert!(Rc::ptr_eq(&a, &b));
     }
 
     #[test]

@@ -1,17 +1,25 @@
 //! Reproduction harness for *A Closer Look at Lightweight Graph
 //! Reordering* (IISWC'19).
 //!
-//! The [`Harness`] caches datasets, permutations, and simulated runs;
-//! each module under [`experiments`] regenerates one table or figure
-//! of the paper and returns a formatted text report. The `repro`
-//! binary drives them from the command line:
+//! The caching engine lives in [`lgr_engine::Session`]; each module
+//! under [`experiments`] regenerates one table or figure of the paper
+//! from a `&Session` and returns a formatted text report. The `repro`
+//! binary drives them from the command line, with string-addressable
+//! technique/app filters powered by
+//! [`lgr_engine::TechniqueSpec`] /
+//! [`lgr_engine::AppSpec`]:
 //!
 //! ```text
-//! repro all                 # every experiment at the default scale
-//! repro fig6 table1         # a subset
-//! repro --quick all         # tiny graphs, CI-friendly
-//! repro --scale 16 fig8     # sd = 2^16 vertices
+//! repro all                        # every experiment at the default scale
+//! repro fig6 table1                # a subset
+//! repro --quick all                # tiny graphs, CI-friendly
+//! repro --scale 16 fig8            # sd = 2^16 vertices
+//! repro --techniques dbg,sort all  # only these techniques
+//! repro --apps pr,sssp fig6        # only these applications
 //! ```
+//!
+//! The legacy [`Harness`] type remains as a deprecated adapter from
+//! the old `TechniqueId`-keyed API onto `Session`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -21,4 +29,5 @@ pub mod harness;
 pub mod table;
 
 pub use harness::{Harness, HarnessConfig};
+pub use lgr_engine::{AppSpec, Job, Report, Session, SessionConfig, SpecError, TechniqueSpec};
 pub use table::TextTable;

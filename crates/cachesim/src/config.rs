@@ -1,5 +1,8 @@
 //! Simulator configuration: hierarchy geometry and latency model.
 
+use std::fmt;
+use std::str::FromStr;
+
 /// Access latencies in cycles, used to convert simulated miss counts
 /// into an execution-time estimate (the basis of every speedup figure
 /// in the reproduction).
@@ -120,6 +123,75 @@ impl SimConfig {
     }
 }
 
+/// A malformed simulator knob string. Carries the offending token and
+/// the valid knob names, matching the engine's spec-error contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfigParseError {
+    /// The `key=value` (or bare) token that failed.
+    pub token: String,
+}
+
+/// Knob names accepted by [`SimConfig::from_str`].
+pub const SIM_KNOBS: [&str; 5] = ["cores", "sockets", "l1kb", "l2kb", "llckb"];
+
+impl fmt::Display for SimConfigParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid simulator knob `{}`; valid: {}",
+            self.token,
+            SIM_KNOBS.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for SimConfigParseError {}
+
+/// Parses a comma-separated knob list over the default geometry, the
+/// string-addressable surface CLI/session layers expose
+/// (`"cores=4,sockets=1,llckb=64"`). Capacities are in KiB;
+/// associativities and the latency model keep their defaults.
+///
+/// ```
+/// use lgr_cachesim::SimConfig;
+///
+/// let cfg: SimConfig = "cores=4,sockets=1,llckb=64".parse().unwrap();
+/// assert_eq!(cfg.cores, 4);
+/// assert_eq!(cfg.llc_bytes, 64 << 10);
+/// assert!("turbo=9".parse::<SimConfig>().unwrap_err().to_string().contains("turbo=9"));
+/// ```
+impl FromStr for SimConfig {
+    type Err = SimConfigParseError;
+
+    fn from_str(s: &str) -> Result<Self, SimConfigParseError> {
+        let mut cfg = SimConfig::default();
+        for token in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let err = || SimConfigParseError {
+                token: token.to_owned(),
+            };
+            let (key, value) = token.split_once('=').ok_or_else(err)?;
+            let n: usize = value.trim().parse().map_err(|_| err())?;
+            if n == 0 {
+                return Err(err());
+            }
+            match key.trim() {
+                "cores" => cfg.cores = n,
+                "sockets" => cfg.sockets = n,
+                "l1kb" => cfg.l1_bytes = n << 10,
+                "l2kb" => cfg.l2_bytes = n << 10,
+                "llckb" => cfg.llc_bytes = n << 10,
+                _ => return Err(err()),
+            }
+        }
+        if !cfg.cores.is_multiple_of(cfg.sockets) {
+            return Err(SimConfigParseError {
+                token: format!("cores={} with sockets={}", cfg.cores, cfg.sockets),
+            });
+        }
+        Ok(cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +212,19 @@ mod tests {
         assert!(l.l1 < l.l2 && l.l2 < l.l3);
         assert!(l.l3 < l.snoop_local && l.snoop_local < l.snoop_remote);
         assert!(l.snoop_remote < l.memory);
+    }
+
+    #[test]
+    fn knob_strings_parse_over_defaults() {
+        let cfg: SimConfig = "cores=2, sockets=1".parse().unwrap();
+        assert_eq!(cfg.cores, 2);
+        assert_eq!(cfg.sockets, 1);
+        assert_eq!(cfg.l1_bytes, SimConfig::default().l1_bytes);
+        assert_eq!("".parse::<SimConfig>().unwrap(), SimConfig::default());
+        let err = "cores=3,sockets=2".parse::<SimConfig>().unwrap_err();
+        assert!(err.to_string().contains("cores=3"), "{err}");
+        let err = "l1kb=0".parse::<SimConfig>().unwrap_err();
+        assert_eq!(err.token, "l1kb=0");
     }
 
     #[test]

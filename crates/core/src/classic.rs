@@ -1,7 +1,7 @@
 //! Classic traversal-based reorderings, for context beyond the
 //! paper's main evaluation.
 //!
-//! The paper's related work (Sec. II-E, refs [22]–[24]) situates
+//! The paper's related work (Sec. II-E, refs \[22\]–\[24\]) situates
 //! skew-aware reordering against older locality-oriented orderings.
 //! Two cheap representatives are provided:
 //!

@@ -6,7 +6,10 @@
 //! vertices into a contiguous region — a prerequisite for the
 //! domain-specialized hardware cache scheme the authors cite.
 
+use std::fmt;
+
 use lgr_graph::{Csr, DegreeKind, Permutation};
+use lgr_parallel::Pool;
 
 use crate::technique::ReorderingTechnique;
 use crate::{Dbg, Gorder};
@@ -52,6 +55,75 @@ impl<A: ReorderingTechnique, B: ReorderingTechnique> ReorderingTechnique for Com
     }
 }
 
+/// Runtime composition of an arbitrary number of boxed techniques,
+/// applied left to right with permutation composition — the dynamic
+/// counterpart of the statically-typed [`Composed`]. This is what a
+/// spec string like `"gorder+dbg"` builds.
+///
+/// Stage `i+1` sees the graph as reordered by stages `0..=i`, and the
+/// returned permutation is the composition of every stage's
+/// relabeling, exactly as [`Composed`] does for two stages.
+pub struct Pipeline {
+    stages: Vec<Box<dyn ReorderingTechnique>>,
+}
+
+impl Pipeline {
+    /// A pipeline over the given stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(stages: Vec<Box<dyn ReorderingTechnique>>) -> Self {
+        assert!(!stages.is_empty(), "a pipeline needs at least one stage");
+        Pipeline { stages }
+    }
+
+    /// The number of composed stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `true` if the pipeline has no stages (never: construction
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+impl fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.stages.iter().map(|s| s.name()))
+            .finish()
+    }
+}
+
+impl ReorderingTechnique for Pipeline {
+    fn name(&self) -> &'static str {
+        "Pipeline"
+    }
+
+    fn reorder(&self, graph: &Csr, kind: DegreeKind) -> Permutation {
+        let mut perm = self.stages[0].reorder(graph, kind);
+        for stage in &self.stages[1..] {
+            let intermediate = graph.apply_permutation(&perm);
+            let next = stage.reorder(&intermediate, kind);
+            perm = perm.then(&next);
+        }
+        perm
+    }
+
+    fn reorder_with(&self, graph: &Csr, kind: DegreeKind, pool: &Pool) -> Permutation {
+        let mut perm = self.stages[0].reorder_with(graph, kind, pool);
+        for stage in &self.stages[1..] {
+            let intermediate = graph.apply_permutation_with(&perm, pool);
+            let next = stage.reorder_with(&intermediate, kind, pool);
+            perm = perm.then(&next);
+        }
+        perm
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +142,36 @@ mod tests {
         let p2 = Dbg::default().reorder(&mid, DegreeKind::Out);
         assert_eq!(combo, p1.then(&p2));
         assert_eq!(gorder_dbg().name(), "Gorder+DBG");
+    }
+
+    #[test]
+    fn pipeline_matches_static_composition() {
+        let el = community(CommunityConfig::new(512, 6.0).with_seed(4));
+        let g = Csr::from_edge_list(&el);
+        let pipeline = Pipeline::new(vec![Box::new(Gorder::new()), Box::new(Dbg::default())]);
+        assert_eq!(
+            pipeline.reorder(&g, DegreeKind::Out),
+            gorder_dbg().reorder(&g, DegreeKind::Out)
+        );
+        assert_eq!(pipeline.len(), 2);
+        assert!(!pipeline.is_empty());
+        // The pooled path must compute the identical permutation.
+        let pool = lgr_parallel::Pool::new(2);
+        assert_eq!(
+            pipeline.reorder_with(&g, DegreeKind::Out, &pool),
+            pipeline.reorder(&g, DegreeKind::Out)
+        );
+    }
+
+    #[test]
+    fn single_stage_pipeline_is_transparent() {
+        let el = community(CommunityConfig::new(128, 4.0).with_seed(2));
+        let g = Csr::from_edge_list(&el);
+        let pipeline = Pipeline::new(vec![Box::new(Dbg::default())]);
+        assert_eq!(
+            pipeline.reorder(&g, DegreeKind::Out),
+            Dbg::default().reorder(&g, DegreeKind::Out)
+        );
     }
 
     #[test]

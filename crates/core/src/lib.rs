@@ -55,7 +55,7 @@ pub mod random;
 pub mod technique;
 
 pub use classic::{BfsOrder, CuthillMcKee};
-pub use composed::{gorder_dbg, Composed, GorderDbg};
+pub use composed::{gorder_dbg, Composed, GorderDbg, Pipeline};
 pub use framework::GroupingSpec;
 pub use gorder::Gorder;
 pub use grouping::{Dbg, HubCluster, HubClusterOriginal, HubSort, HubSortOriginal, Sort};

@@ -35,8 +35,16 @@ pub trait ReorderingTechnique {
     }
 }
 
-/// Stable identifiers for the techniques evaluated in the paper, used
-/// by the benchmark harness for iteration and display ordering.
+/// Stable identifiers for the techniques evaluated in the paper.
+///
+/// **Deprecated (soft):** this closed enum survives only as a
+/// compatibility alias layer. New code should address techniques
+/// through `lgr_engine::TechniqueSpec` — parsed from strings like
+/// `"dbg:groups=4"` or `"gorder+dbg"`, open to custom registrations,
+/// and with an honest `Display` for every parameterization (this
+/// enum's [`TechniqueId::name`] cannot name `RandomCacheBlock(n)` for
+/// n outside {1, 2, 4}). `TechniqueSpec` implements
+/// `From<TechniqueId>` for the transition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TechniqueId {
     /// Baseline: no reordering.
@@ -84,6 +92,12 @@ impl TechniqueId {
     ];
 
     /// Display name matching the paper's figures.
+    ///
+    /// **Deprecated (soft):** being `&'static str`, this cannot format
+    /// parameter values — `RandomCacheBlock(n)` for n outside {1, 2, 4}
+    /// collapses to the placeholder `"RCB-n"`. Report labels should go
+    /// through `lgr_engine::TechniqueSpec::label`, which formats the
+    /// actual block count.
     pub fn name(self) -> &'static str {
         match self {
             TechniqueId::Original => "Original",

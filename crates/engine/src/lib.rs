@@ -1,0 +1,57 @@
+//! The string-addressable engine: sessions, specs, and reports.
+//!
+//! This crate is the composable public surface of the reproduction —
+//! the redesign that replaces the closed `TechniqueId` enum-and-match
+//! API with an open one, the way Ligra/GAPBS-style suites expose apps
+//! and orderings by name on the command line:
+//!
+//! * [`TechniqueSpec`] — a reordering technique parsed from strings
+//!   like `"dbg"`, `"dbg:groups=4"`, `"hubsort-o"`, `"rcb:4"`, with
+//!   `+`-composition (`"gorder+dbg"`) and a round-tripping
+//!   [`Display`](std::fmt::Display)/[`FromStr`](std::str::FromStr)
+//!   contract.
+//! * [`AppSpec`] — the five evaluated applications plus per-app knobs
+//!   (`"pr:iters=4"`, `"bc:roots=8"`), same contract.
+//! * [`TechniqueRegistry`] — resolves specs to boxed
+//!   [`ReorderingTechnique`](lgr_core::ReorderingTechnique)s and is
+//!   open to user-registered techniques.
+//! * [`Session`] — owns the worker pool and the graph / permutation /
+//!   reordered-CSR / root caches, runs traced and untraced [`Job`]s,
+//!   and emits machine-readable [`Report`]s (JSON lines, no external
+//!   dependencies).
+//!
+//! # Example
+//!
+//! ```
+//! use lgr_engine::{AppSpec, Job, Session, SessionConfig, TechniqueSpec};
+//! use lgr_graph::datasets::{DatasetId, DatasetScale};
+//!
+//! let mut cfg = SessionConfig::quick();
+//! cfg.scale = DatasetScale::with_sd_vertices(1 << 10);
+//! let session = Session::new(cfg);
+//!
+//! let spec: TechniqueSpec = "dbg".parse().unwrap();
+//! let app: AppSpec = "pr".parse().unwrap();
+//! let job = Job::new(app, DatasetId::Lj).with_technique(spec);
+//! let report = session.report(&job);
+//! assert_eq!(report.technique, "DBG");
+//! println!("{}", report.to_json());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod app;
+pub mod registry;
+pub mod report;
+pub mod session;
+pub mod spec;
+
+pub use app::AppSpec;
+pub use registry::{TechniqueBuilder, TechniqueRegistry};
+pub use report::Report;
+pub use session::{Job, RunStats, Session, SessionConfig};
+pub use spec::{
+    SpecError, TechniqueAtom, TechniqueSpec, BUILTIN_TECHNIQUES, DEFAULT_DBG_HOT_GROUPS,
+    DEFAULT_SEED,
+};

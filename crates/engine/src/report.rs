@@ -1,0 +1,177 @@
+//! Machine-readable job reports.
+//!
+//! A [`Report`] is the flattened outcome of one
+//! [`Session::report`](crate::Session::report) call and serializes to
+//! a single [JSON Lines](https://jsonlines.org) record with no
+//! external dependencies — the format a production service would ship
+//! to its metrics pipeline.
+
+use std::fmt::Write as _;
+
+/// The outcome of one (app, dataset, technique) job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Application label (`"PR"`).
+    pub app: String,
+    /// Application spec string (`"pr:iters=4"`).
+    pub app_spec: String,
+    /// Dataset name (`"sd"`).
+    pub dataset: String,
+    /// Technique label routed through the spec layer (`"RCB-3"`,
+    /// `"Original"` for the baseline).
+    pub technique: String,
+    /// Canonical technique spec string (`"rcb:3"`, `"orig"` for the
+    /// baseline).
+    pub spec: String,
+    /// Estimated execution cycles of the traced run.
+    pub cycles: u64,
+    /// Instructions charged by the traced run.
+    pub instructions: u64,
+    /// L1 / L2 / L3 misses per kilo-instruction.
+    pub mpki: [f64; 3],
+    /// Wall-clock milliseconds spent computing the reordering (absent
+    /// for the baseline).
+    pub reorder_ms: Option<f64>,
+    /// Speedup over the original ordering, excluding reordering time
+    /// (1.0 for the baseline by construction).
+    pub speedup: f64,
+}
+
+impl Report {
+    /// Serializes to one JSON object on a single line (JSON Lines).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lgr_engine::Report;
+    ///
+    /// let r = Report {
+    ///     app: "PR".into(),
+    ///     app_spec: "pr".into(),
+    ///     dataset: "sd".into(),
+    ///     technique: "DBG".into(),
+    ///     spec: "dbg".into(),
+    ///     cycles: 1000,
+    ///     instructions: 500,
+    ///     mpki: [10.0, 5.0, 2.5],
+    ///     reorder_ms: Some(1.25),
+    ///     speedup: 1.1,
+    /// };
+    /// let line = r.to_json();
+    /// assert!(line.starts_with('{') && line.ends_with('}'));
+    /// assert!(!line.contains('\n'));
+    /// assert!(line.contains("\"spec\":\"dbg\""));
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        write_str(&mut s, "app", &self.app);
+        s.push(',');
+        write_str(&mut s, "app_spec", &self.app_spec);
+        s.push(',');
+        write_str(&mut s, "dataset", &self.dataset);
+        s.push(',');
+        write_str(&mut s, "technique", &self.technique);
+        s.push(',');
+        write_str(&mut s, "spec", &self.spec);
+        s.push(',');
+        let _ = write!(s, "\"cycles\":{}", self.cycles);
+        s.push(',');
+        let _ = write!(s, "\"instructions\":{}", self.instructions);
+        s.push(',');
+        let _ = write!(
+            s,
+            "\"mpki\":[{},{},{}]",
+            json_f64(self.mpki[0]),
+            json_f64(self.mpki[1]),
+            json_f64(self.mpki[2])
+        );
+        s.push(',');
+        match self.reorder_ms {
+            Some(ms) => {
+                let _ = write!(s, "\"reorder_ms\":{}", json_f64(ms));
+            }
+            None => s.push_str("\"reorder_ms\":null"),
+        }
+        s.push(',');
+        let _ = write!(s, "\"speedup\":{}", json_f64(self.speedup));
+        s.push('}');
+        s
+    }
+}
+
+/// Formats an f64 as a JSON number. JSON has no NaN/Infinity, so
+/// non-finite values serialize as `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Rust's Display for f64 is shortest-round-trip and always a
+        // valid JSON number (no exponent-only or trailing-dot forms).
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn write_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            app: "PR".into(),
+            app_spec: "pr".into(),
+            dataset: "sd".into(),
+            technique: "DBG".into(),
+            spec: "dbg".into(),
+            cycles: 12,
+            instructions: 34,
+            mpki: [1.5, 0.25, 0.125],
+            reorder_ms: None,
+            speedup: 1.0,
+        }
+    }
+
+    #[test]
+    fn baseline_serializes_null_reorder_time() {
+        let line = sample().to_json();
+        assert!(line.contains("\"reorder_ms\":null"), "{line}");
+        assert!(line.contains("\"mpki\":[1.5,0.25,0.125]"), "{line}");
+        assert!(line.contains("\"cycles\":12"), "{line}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut r = sample();
+        r.dataset = "s\"d\\x\n".into();
+        let line = r.to_json();
+        assert!(line.contains(r#""dataset":"s\"d\\x\n""#), "{line}");
+        assert_eq!(line.lines().count(), 1, "must stay one line");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut r = sample();
+        r.speedup = f64::NAN;
+        assert!(r.to_json().contains("\"speedup\":null"));
+    }
+}

@@ -1,0 +1,787 @@
+//! The [`Session`]: pool ownership, dataset/permutation/run caching,
+//! and the paper's measurement methodology, addressable by spec.
+//!
+//! A session is the library-level engine the `repro` harness (and any
+//! future service) drives: it owns the worker [`Pool`], lazily builds
+//! dataset analogues, caches timed permutations and reordered CSRs
+//! under canonicalized keys, and runs traced/untraced application
+//! jobs. Everything is addressed by [`TechniqueSpec`] / [`AppSpec`],
+//! so a string from a CLI flag, config file, or RPC payload reaches
+//! the same cached machinery as a typed call.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use lgr_analytics::apps::bc::{bc_with_arrays, BcArrays};
+use lgr_analytics::apps::pagerank::{pagerank_with_arrays, PrArrays};
+use lgr_analytics::apps::pagerank_delta::{pagerank_delta_with_arrays, PrdArrays};
+use lgr_analytics::apps::radii::{radii_with_arrays, RadiiArrays};
+use lgr_analytics::apps::sssp::{sssp_with_arrays, SsspArrays};
+use lgr_analytics::apps::{AppId, BcConfig, PrConfig, PrdConfig, RadiiConfig, SsspConfig};
+use lgr_cachesim::{MemoryLayout, MemorySim, NullTracer, SimConfig, SimStats};
+use lgr_core::{ReorderingTechnique, TimedReorder};
+use lgr_graph::datasets::{self, DatasetId, DatasetScale};
+use lgr_graph::{Csr, DegreeKind, VertexId};
+use lgr_parallel::Pool;
+
+use crate::app::AppSpec;
+use crate::registry::TechniqueRegistry;
+use crate::report::Report;
+use crate::spec::{SpecError, TechniqueSpec};
+
+/// Session-wide knobs.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Dataset scale (vertex count of `sd`; others keep Table IX
+    /// ratios).
+    pub scale: DatasetScale,
+    /// Simulated machine.
+    pub sim: SimConfig,
+    /// Roots aggregated per root-dependent app run (the paper uses 8).
+    pub roots: usize,
+    /// Fixed PageRank iterations per traced run.
+    pub pr_iters: usize,
+    /// PageRank-Delta iteration cap.
+    pub prd_iters: usize,
+    /// Radii round cap.
+    pub radii_rounds: usize,
+    /// Print progress lines to stderr.
+    pub verbose: bool,
+    /// Restrict experiments to these techniques (`None` = all). Rosters
+    /// pass through [`Session::selected_techniques`], so a `--techniques
+    /// dbg,sort` CLI filter reaches every experiment uniformly.
+    pub techniques: Option<Vec<TechniqueSpec>>,
+    /// Restrict experiments to these applications (`None` = all),
+    /// matched by app identity; a knobbed selection entry
+    /// (`pr:iters=10`) overrides the roster's knobs.
+    pub apps: Option<Vec<AppSpec>>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            scale: DatasetScale::with_sd_vertices(1 << 17),
+            sim: SimConfig::default(),
+            roots: 2,
+            pr_iters: 3,
+            prd_iters: 5,
+            radii_rounds: 1024,
+            verbose: false,
+            techniques: None,
+            apps: None,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// A tiny configuration for smoke tests and CI. The scale is
+    /// chosen so `repro --quick all` finishes in well under a minute
+    /// even in debug builds (the full suite simulates every app on
+    /// every dataset).
+    pub fn quick() -> Self {
+        SessionConfig {
+            scale: DatasetScale::with_sd_vertices(1 << 11),
+            roots: 1,
+            pr_iters: 2,
+            prd_iters: 3,
+            radii_rounds: 256,
+            ..Default::default()
+        }
+    }
+
+    /// Overrides the scale exponent: `sd` gets `2^exp` vertices.
+    pub fn with_scale_exp(mut self, exp: u32) -> Self {
+        self.scale = DatasetScale::with_sd_vertices(1usize << exp);
+        self
+    }
+}
+
+/// One traced run's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Simulator statistics (MPKI, breakdowns, cycles).
+    pub stats: SimStats,
+}
+
+impl RunStats {
+    /// Estimated execution cycles.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+}
+
+/// One unit of work: an application on a dataset under an (optional)
+/// reordering.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Job {
+    /// What to run.
+    pub app: AppSpec,
+    /// Which dataset analogue to run it on.
+    pub dataset: DatasetId,
+    /// How to reorder first (`None` = original ordering).
+    pub technique: Option<TechniqueSpec>,
+}
+
+impl Job {
+    /// A job on the original ordering.
+    pub fn new(app: AppSpec, dataset: DatasetId) -> Self {
+        Job {
+            app,
+            dataset,
+            technique: None,
+        }
+    }
+
+    /// The same job under `spec`'s reordering.
+    pub fn with_technique(mut self, spec: TechniqueSpec) -> Self {
+        self.technique = Some(spec);
+        self
+    }
+}
+
+type ReorderKey = (DatasetId, TechniqueSpec, DegreeKind);
+type RunKey = (AppSpec, DatasetId, Option<TechniqueSpec>);
+
+/// Caching engine shared by every experiment, CLI invocation, and
+/// library embedding.
+pub struct Session {
+    cfg: SessionConfig,
+    registry: TechniqueRegistry,
+    /// Worker pool shared by every CSR build, permutation apply, and
+    /// framework reordering the session performs. Sized by the
+    /// `LGR_THREADS` knob (default: available parallelism).
+    pool: Pool,
+    graphs: RefCell<HashMap<DatasetId, Rc<Csr>>>,
+    reorders: RefCell<HashMap<ReorderKey, Rc<TimedReorder>>>,
+    /// Reordered CSRs, cached under the same canonicalized key as the
+    /// permutations that produced them — rebuilding the graph per
+    /// `run`/`wall` call was the single biggest repeated cost of the
+    /// repro pipeline.
+    reordered: RefCell<HashMap<ReorderKey, Rc<Csr>>>,
+    /// Per-dataset root candidates (vertices with both edge
+    /// directions), so the O(V) scan runs once per dataset rather than
+    /// once per prepared run.
+    root_candidates: RefCell<HashMap<DatasetId, Rc<Vec<VertexId>>>>,
+    runs: RefCell<HashMap<RunKey, Rc<RunStats>>>,
+    walls: RefCell<HashMap<RunKey, Duration>>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("cfg", &self.cfg).finish()
+    }
+}
+
+impl Session {
+    /// A session with the given configuration and the built-in
+    /// technique registry.
+    pub fn new(cfg: SessionConfig) -> Self {
+        Self::with_registry(cfg, TechniqueRegistry::new())
+    }
+
+    /// A session whose spec strings also resolve against `registry`'s
+    /// custom techniques.
+    pub fn with_registry(cfg: SessionConfig, registry: TechniqueRegistry) -> Self {
+        Session {
+            cfg,
+            registry,
+            pool: Pool::with_default_threads(),
+            graphs: RefCell::new(HashMap::new()),
+            reorders: RefCell::new(HashMap::new()),
+            reordered: RefCell::new(HashMap::new()),
+            root_candidates: RefCell::new(HashMap::new()),
+            runs: RefCell::new(HashMap::new()),
+            walls: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The worker pool shared by the session's graph-construction and
+    /// reordering work.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// The technique registry specs resolve against.
+    pub fn registry(&self) -> &TechniqueRegistry {
+        &self.registry
+    }
+
+    /// Mutable registry access, for registering custom techniques.
+    pub fn registry_mut(&mut self) -> &mut TechniqueRegistry {
+        &mut self.registry
+    }
+
+    fn log(&self, msg: &str) {
+        if self.cfg.verbose {
+            eprintln!("[repro] {msg}");
+        }
+    }
+
+    /// The dataset's graph in its original ordering. Weights are
+    /// always attached (SSSP uses them; other apps ignore them).
+    pub fn graph(&self, ds: DatasetId) -> Rc<Csr> {
+        if let Some(g) = self.graphs.borrow().get(&ds) {
+            return Rc::clone(g);
+        }
+        self.log(&format!("building dataset {}", ds.name()));
+        let mut el = datasets::build(ds, self.cfg.scale);
+        el.randomize_weights(64, 0xC0FFEE ^ ds as u64);
+        let g = Rc::new(Csr::from_edge_list_with(&el, &self.pool));
+        self.graphs.borrow_mut().insert(ds, Rc::clone(&g));
+        g
+    }
+
+    /// Instantiates the technique a spec describes.
+    pub fn technique(
+        &self,
+        spec: &TechniqueSpec,
+    ) -> Result<Box<dyn ReorderingTechnique>, SpecError> {
+        self.registry.build(spec)
+    }
+
+    /// Degree-kind canonicalization: techniques whose permutation
+    /// ignores the degree kind share one cached entry.
+    fn canonical_kind(spec: &TechniqueSpec, kind: DegreeKind) -> DegreeKind {
+        if spec.uses_degree_kind() {
+            kind
+        } else {
+            DegreeKind::Out
+        }
+    }
+
+    /// Times `spec`'s reordering of an arbitrary graph on the pool
+    /// (uncached; out-degrees drive hot/cold decisions).
+    pub fn reorder(&self, graph: &Csr, spec: &TechniqueSpec) -> TimedReorder {
+        self.reorder_with_kind(graph, spec, DegreeKind::Out)
+    }
+
+    /// [`Session::reorder`] with an explicit degree kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec names a custom technique this session's
+    /// registry does not hold (parse specs through
+    /// [`TechniqueRegistry::parse`](crate::TechniqueRegistry::parse)
+    /// to catch that early).
+    pub fn reorder_with_kind(
+        &self,
+        graph: &Csr,
+        spec: &TechniqueSpec,
+        kind: DegreeKind,
+    ) -> TimedReorder {
+        let t = self
+            .technique(spec)
+            .unwrap_or_else(|e| panic!("unresolvable spec `{spec}`: {e}"));
+        TimedReorder::run_with(t.as_ref(), graph, kind, &self.pool)
+    }
+
+    /// The (timed) permutation for `spec` on `ds` using `kind`
+    /// degrees, cached.
+    pub fn dataset_reorder(
+        &self,
+        ds: DatasetId,
+        spec: &TechniqueSpec,
+        kind: DegreeKind,
+    ) -> Rc<TimedReorder> {
+        let key = (ds, spec.clone(), Self::canonical_kind(spec, kind));
+        if let Some(r) = self.reorders.borrow().get(&key) {
+            return Rc::clone(r);
+        }
+        let graph = self.graph(ds);
+        self.log(&format!("reordering {} with {}", ds.name(), spec.label()));
+        let timed = Rc::new(self.reorder_with_kind(&graph, spec, key.2));
+        self.reorders.borrow_mut().insert(key, Rc::clone(&timed));
+        timed
+    }
+
+    /// The reordered CSR for `spec` on `ds` using `kind` degrees,
+    /// cached under the same canonicalized key as the permutation so
+    /// every `run`/`wall` call on the same (dataset, technique) pair
+    /// reuses one relabeled graph.
+    pub fn reordered_graph(
+        &self,
+        ds: DatasetId,
+        spec: &TechniqueSpec,
+        kind: DegreeKind,
+    ) -> Rc<Csr> {
+        let key = (ds, spec.clone(), Self::canonical_kind(spec, kind));
+        if let Some(g) = self.reordered.borrow().get(&key) {
+            return Rc::clone(g);
+        }
+        let base = self.graph(ds);
+        let timed = self.dataset_reorder(ds, spec, kind);
+        self.log(&format!("rebuilding {} under {}", ds.name(), spec.label()));
+        let g = Rc::new(base.apply_permutation_with(&timed.permutation, &self.pool));
+        self.reordered.borrow_mut().insert(key, Rc::clone(&g));
+        g
+    }
+
+    /// The dataset's root candidates (vertices with both in- and
+    /// out-edges), cached.
+    fn root_candidates(&self, ds: DatasetId) -> Rc<Vec<VertexId>> {
+        if let Some(c) = self.root_candidates.borrow().get(&ds) {
+            return Rc::clone(c);
+        }
+        let g = self.graph(ds);
+        let candidates: Rc<Vec<VertexId>> = Rc::new(
+            (0..g.num_vertices() as VertexId)
+                .filter(|&v| g.out_degree(v) > 0 && g.in_degree(v) > 0)
+                .collect(),
+        );
+        self.root_candidates
+            .borrow_mut()
+            .insert(ds, Rc::clone(&candidates));
+        candidates
+    }
+
+    /// Deterministic roots on the ORIGINAL graph: vertices with both
+    /// in- and out-edges, evenly spaced through the ID range. Returns
+    /// at most one root per candidate — when `count` exceeds the
+    /// candidate pool the result is the whole pool, never duplicated
+    /// roots (a duplicate would double-charge its traversal in the
+    /// aggregated simulation).
+    pub fn roots(&self, ds: DatasetId, count: usize) -> Vec<VertexId> {
+        let candidates = self.root_candidates(ds);
+        if candidates.is_empty() {
+            return vec![0];
+        }
+        let k = count.max(1).min(candidates.len());
+        (0..k)
+            .map(|i| {
+                let idx = (i * candidates.len() / k + candidates.len() / (2 * k))
+                    .min(candidates.len() - 1);
+                candidates[idx]
+            })
+            .collect()
+    }
+
+    /// Traced run of a job, cached. Root-dependent apps aggregate the
+    /// configured number of traversals into one simulation, mirroring
+    /// the paper's methodology.
+    pub fn run(&self, job: &Job) -> Rc<RunStats> {
+        let key = (job.app.clone(), job.dataset, job.technique.clone());
+        if let Some(r) = self.runs.borrow().get(&key) {
+            return Rc::clone(r);
+        }
+        self.log(&format!(
+            "tracing {} on {} / {}",
+            job.app.label(),
+            job.dataset.name(),
+            job.technique
+                .as_ref()
+                .map_or_else(|| "Original".to_owned(), TechniqueSpec::label)
+        ));
+        let base = self.graph(job.dataset);
+        let (graph, roots) = self.prepared(job, &base);
+        let stats = self.run_traced(&job.app, &graph, &roots);
+        let r = Rc::new(RunStats { stats });
+        self.runs.borrow_mut().insert(key, Rc::clone(&r));
+        r
+    }
+
+    /// Untraced wall-clock run (same work as [`Session::run`]), cached.
+    pub fn wall(&self, job: &Job) -> Duration {
+        let key = (job.app.clone(), job.dataset, job.technique.clone());
+        if let Some(d) = self.walls.borrow().get(&key) {
+            return *d;
+        }
+        let base = self.graph(job.dataset);
+        let (graph, roots) = self.prepared(job, &base);
+        let start = Instant::now();
+        self.run_untraced(&job.app, &graph, &roots);
+        let elapsed = start.elapsed();
+        self.walls.borrow_mut().insert(key, elapsed);
+        elapsed
+    }
+
+    /// Runs a job and flattens the outcome (plus its baseline
+    /// comparison and reorder timing) into a machine-readable
+    /// [`Report`].
+    pub fn report(&self, job: &Job) -> Report {
+        let stats = self.run(job);
+        let base = self.run(&Job::new(job.app.clone(), job.dataset));
+        let (technique, spec, reorder_ms) = match &job.technique {
+            None => (
+                "Original".to_owned(),
+                TechniqueSpec::original().to_string(),
+                None,
+            ),
+            Some(spec) => {
+                let timed = self.dataset_reorder(job.dataset, spec, job.app.id().reorder_degree());
+                (
+                    spec.label(),
+                    spec.to_string(),
+                    Some(timed.elapsed.as_secs_f64() * 1e3),
+                )
+            }
+        };
+        Report {
+            app: job.app.label().to_owned(),
+            app_spec: job.app.to_string(),
+            dataset: job.dataset.name().to_owned(),
+            technique,
+            spec,
+            cycles: stats.cycles(),
+            instructions: stats.stats.instructions,
+            mpki: stats.stats.mpki(),
+            reorder_ms,
+            speedup: base.cycles() as f64 / (stats.cycles() as f64).max(1.0),
+        }
+    }
+
+    /// Builds the (possibly reordered) graph and maps roots through the
+    /// permutation.
+    fn prepared(&self, job: &Job, base: &Rc<Csr>) -> (Rc<Csr>, Vec<VertexId>) {
+        // Radii needs its 64 BFS sources fixed in *logical* vertex
+        // terms so every ordering computes the same problem.
+        let count = if job.app.id() == AppId::Radii {
+            job.app.sources().unwrap_or(64)
+        } else {
+            job.app.roots().unwrap_or(self.cfg.roots)
+        };
+        let roots = self.roots(job.dataset, count);
+        match &job.technique {
+            None => (Rc::clone(base), roots),
+            Some(spec) => {
+                let kind = job.app.id().reorder_degree();
+                let timed = self.dataset_reorder(job.dataset, spec, kind);
+                let g = self.reordered_graph(job.dataset, spec, kind);
+                let mapped = roots.iter().map(|&r| timed.permutation.new_id(r)).collect();
+                (g, mapped)
+            }
+        }
+    }
+
+    fn pr_config(&self, app: &AppSpec) -> PrConfig {
+        PrConfig {
+            max_iters: app.iters().unwrap_or(self.cfg.pr_iters),
+            tolerance: 0.0,
+            cores: self.cfg.sim.cores,
+            ..Default::default()
+        }
+    }
+
+    fn prd_config(&self, app: &AppSpec) -> PrdConfig {
+        PrdConfig {
+            max_iters: app.iters().unwrap_or(self.cfg.prd_iters),
+            cores: self.cfg.sim.cores,
+            ..Default::default()
+        }
+    }
+
+    fn radii_config(&self, app: &AppSpec, sources: &[VertexId]) -> RadiiConfig {
+        RadiiConfig {
+            max_rounds: app.rounds().unwrap_or(self.cfg.radii_rounds),
+            cores: self.cfg.sim.cores,
+            ..Default::default()
+        }
+        .with_sources(sources.to_vec())
+    }
+
+    /// Runs an app on the simulator, registering its arrays first.
+    fn run_traced(&self, app: &AppSpec, graph: &Csr, roots: &[VertexId]) -> SimStats {
+        let cores = self.cfg.sim.cores;
+        let mut layout = MemoryLayout::new();
+        match app.id() {
+            AppId::Pr => {
+                let arrays = PrArrays::register(&mut layout, graph);
+                let mut sim = MemorySim::new(self.cfg.sim, layout);
+                pagerank_with_arrays(graph, &self.pr_config(app), &arrays, &mut sim);
+                *sim.stats()
+            }
+            AppId::Prd => {
+                let arrays = PrdArrays::register(&mut layout, graph);
+                let mut sim = MemorySim::new(self.cfg.sim, layout);
+                pagerank_delta_with_arrays(graph, &self.prd_config(app), &arrays, &mut sim);
+                *sim.stats()
+            }
+            AppId::Sssp => {
+                let arrays = SsspArrays::register(&mut layout, graph);
+                let mut sim = MemorySim::new(self.cfg.sim, layout);
+                for &r in roots {
+                    let cfg = SsspConfig {
+                        cores,
+                        ..SsspConfig::from_root(r)
+                    };
+                    sssp_with_arrays(graph, &cfg, &arrays, &mut sim);
+                }
+                *sim.stats()
+            }
+            AppId::Bc => {
+                let arrays = BcArrays::register(&mut layout, graph);
+                let mut sim = MemorySim::new(self.cfg.sim, layout);
+                for &r in roots {
+                    let cfg = BcConfig { root: r, cores };
+                    bc_with_arrays(graph, &cfg, &arrays, &mut sim);
+                }
+                *sim.stats()
+            }
+            AppId::Radii => {
+                let arrays = RadiiArrays::register(&mut layout, graph);
+                let mut sim = MemorySim::new(self.cfg.sim, layout);
+                radii_with_arrays(graph, &self.radii_config(app, roots), &arrays, &mut sim);
+                *sim.stats()
+            }
+        }
+    }
+
+    /// Runs an app with the null tracer (host-speed execution).
+    fn run_untraced(&self, app: &AppSpec, graph: &Csr, roots: &[VertexId]) {
+        let cores = self.cfg.sim.cores;
+        let mut t = NullTracer;
+        match app.id() {
+            AppId::Pr => {
+                lgr_analytics::apps::pagerank(graph, &self.pr_config(app), &mut t);
+            }
+            AppId::Prd => {
+                lgr_analytics::apps::pagerank_delta(graph, &self.prd_config(app), &mut t);
+            }
+            AppId::Sssp => {
+                for &r in roots {
+                    let cfg = SsspConfig {
+                        cores,
+                        ..SsspConfig::from_root(r)
+                    };
+                    lgr_analytics::apps::sssp(graph, &cfg, &mut t);
+                }
+            }
+            AppId::Bc => {
+                for &r in roots {
+                    let cfg = BcConfig { root: r, cores };
+                    lgr_analytics::apps::bc(graph, &cfg, &mut t);
+                }
+            }
+            AppId::Radii => {
+                lgr_analytics::apps::radii(graph, &self.radii_config(app, roots), &mut t);
+            }
+        }
+    }
+
+    /// Traced PageRank cycles on an arbitrary (already reordered)
+    /// graph — used by ablations that sweep technique parameters
+    /// outside the cached dataset registry.
+    pub fn simulate_pr(&self, graph: &Csr) -> u64 {
+        self.run_traced(&AppSpec::new(AppId::Pr), graph, &[]).cycles
+    }
+
+    /// Speedup factor of `spec` over the original ordering for
+    /// `app` x `ds`, excluding reordering time (Fig. 6's metric).
+    pub fn speedup(&self, app: &AppSpec, ds: DatasetId, spec: &TechniqueSpec) -> f64 {
+        let base = self.run(&Job::new(app.clone(), ds)).cycles() as f64;
+        let with = self
+            .run(&Job::new(app.clone(), ds).with_technique(spec.clone()))
+            .cycles() as f64;
+        base / with.max(1.0)
+    }
+
+    /// Converts a wall-clock duration into simulated cycles using the
+    /// dataset's PageRank calibration: the same PR work is both
+    /// simulated (cycles) and executed on the host (seconds); their
+    /// ratio is the exchange rate. This lets measured reordering times
+    /// be charged against simulated application cycles (Figs. 10–11,
+    /// Table XII).
+    pub fn wall_to_cycles(&self, ds: DatasetId, wall: Duration) -> u64 {
+        let pr = Job::new(AppSpec::new(AppId::Pr), ds);
+        let sim_cycles = self.run(&pr).cycles() as f64;
+        let host_secs = self.wall(&pr).as_secs_f64().max(1e-9);
+        let rate = sim_cycles / host_secs;
+        (wall.as_secs_f64() * rate) as u64
+    }
+
+    /// Net speedup including reordering time, amortized over
+    /// `traversals` repetitions of the app run (Figs. 10–11):
+    /// `base * T / (reorder + with * T)`.
+    pub fn net_speedup(
+        &self,
+        app: &AppSpec,
+        ds: DatasetId,
+        spec: &TechniqueSpec,
+        traversals: u64,
+    ) -> f64 {
+        let base = self.run(&Job::new(app.clone(), ds)).cycles() as f64;
+        let with = self
+            .run(&Job::new(app.clone(), ds).with_technique(spec.clone()))
+            .cycles() as f64;
+        let reorder = self.dataset_reorder(ds, spec, app.id().reorder_degree());
+        let reorder_cycles = self.wall_to_cycles(ds, reorder.elapsed) as f64;
+        (base * traversals as f64) / (reorder_cycles + with * traversals as f64)
+    }
+
+    /// Filters a fixed-comparison roster (the random probes of Fig. 3,
+    /// the `-O` variants of Fig. 5, ...) through the session's
+    /// `--techniques` selection, preserving roster order. `None`
+    /// selects everything. Unlike [`Session::main_eval`], this can
+    /// only subset: those experiments compare specific techniques.
+    pub fn selected_techniques(&self, roster: &[TechniqueSpec]) -> Vec<TechniqueSpec> {
+        match &self.cfg.techniques {
+            None => roster.to_vec(),
+            Some(sel) => roster.iter().filter(|t| sel.contains(t)).cloned().collect(),
+        }
+    }
+
+    /// Filters an app roster through the session's `--apps` selection
+    /// (matched by app identity, so `pr` selects `pr:iters=4` rosters
+    /// too), preserving roster order. `None` selects everything. A
+    /// selection entry carrying knobs (`pr:iters=10`) replaces the
+    /// matching roster entry, so `--apps pr:iters=10` actually runs
+    /// ten iterations rather than silently dropping the override.
+    pub fn selected_apps(&self, roster: &[AppSpec]) -> Vec<AppSpec> {
+        match &self.cfg.apps {
+            None => roster.to_vec(),
+            Some(sel) => roster
+                .iter()
+                .filter_map(|a| {
+                    let matched = sel.iter().find(|s| s.id() == a.id())?;
+                    Some(if *matched == AppSpec::new(matched.id()) {
+                        a.clone()
+                    } else {
+                        matched.clone()
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// The technique roster of the main evaluation: the `--techniques`
+    /// selection verbatim when one is set (evaluate exactly what was
+    /// named, including parameterizations like `rcb:3` or
+    /// `dbg:groups=2` that no default roster contains), else the
+    /// paper's five (Fig. 6).
+    pub fn main_eval(&self) -> Vec<TechniqueSpec> {
+        match &self.cfg.techniques {
+            None => TechniqueSpec::main_eval(),
+            Some(sel) => sel.clone(),
+        }
+    }
+
+    /// The five applications, after selection.
+    pub fn eval_apps(&self) -> Vec<AppSpec> {
+        self.selected_apps(&AppSpec::all())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Session {
+        let mut cfg = SessionConfig::quick();
+        cfg.scale = DatasetScale::with_sd_vertices(1 << 10);
+        Session::new(cfg)
+    }
+
+    #[test]
+    fn caches_are_keyed_by_spec_and_canonicalized() {
+        let s = tiny();
+        // Parsed and constructed specs hit the same entry.
+        let parsed: TechniqueSpec = "rv".parse().unwrap();
+        let a = s.dataset_reorder(DatasetId::Lj, &parsed, DegreeKind::In);
+        let b = s.dataset_reorder(DatasetId::Lj, &TechniqueSpec::rv(), DegreeKind::Out);
+        assert!(Rc::ptr_eq(&a, &b), "RV ignores degree kind");
+        let c = s.dataset_reorder(DatasetId::Lj, &TechniqueSpec::dbg(), DegreeKind::In);
+        let d = s.dataset_reorder(DatasetId::Lj, &TechniqueSpec::dbg(), DegreeKind::Out);
+        assert!(!Rc::ptr_eq(&c, &d), "DBG is degree-kind sensitive");
+    }
+
+    #[test]
+    fn out_of_enum_parameterizations_are_first_class() {
+        let s = tiny();
+        // rcb:3 was unreachable through TechniqueId (only 1/2/4 had
+        // honest names); through the spec layer it runs and labels
+        // correctly.
+        let spec: TechniqueSpec = "rcb:3".parse().unwrap();
+        let job = Job::new(AppSpec::new(AppId::Pr), DatasetId::Lj).with_technique(spec.clone());
+        let report = s.report(&job);
+        assert_eq!(report.technique, "RCB-3");
+        assert_eq!(report.spec, "rcb:3");
+        assert!(report.cycles > 0);
+        assert!(report.reorder_ms.is_some());
+    }
+
+    #[test]
+    fn report_baseline_speedup_is_one() {
+        let s = tiny();
+        let r = s.report(&Job::new(AppSpec::new(AppId::Pr), DatasetId::Lj));
+        assert_eq!(r.technique, "Original");
+        assert_eq!(r.spec, "orig");
+        assert!((r.speedup - 1.0).abs() < 1e-12);
+        assert_eq!(r.reorder_ms, None);
+        let line = r.to_json();
+        assert!(line.contains("\"dataset\":\"lj\""), "{line}");
+    }
+
+    #[test]
+    fn app_knobs_change_the_run_and_its_cache_key() {
+        let s = tiny();
+        let short: AppSpec = "pr:iters=1".parse().unwrap();
+        let long: AppSpec = "pr:iters=4".parse().unwrap();
+        let a = s.run(&Job::new(short, DatasetId::Lj));
+        let b = s.run(&Job::new(long, DatasetId::Lj));
+        assert!(
+            b.stats.instructions > a.stats.instructions,
+            "more iterations must execute more instructions"
+        );
+    }
+
+    #[test]
+    fn selection_filters_rosters() {
+        let mut cfg = SessionConfig::quick();
+        cfg.techniques = Some(vec![TechniqueSpec::dbg(), TechniqueSpec::sort()]);
+        cfg.apps = Some(vec![AppSpec::new(AppId::Pr)]);
+        let s = Session::new(cfg);
+        // main_eval is the selection verbatim (user order).
+        let techs = s.main_eval();
+        assert_eq!(techs, vec![TechniqueSpec::dbg(), TechniqueSpec::sort()]);
+        // Fixed rosters intersect with it, keeping roster order.
+        assert_eq!(
+            s.selected_techniques(&TechniqueSpec::main_eval()),
+            vec![TechniqueSpec::sort(), TechniqueSpec::dbg()]
+        );
+        let apps = s.eval_apps();
+        assert_eq!(apps, vec![AppSpec::new(AppId::Pr)]);
+        // Rosters outside the selection filter to empty.
+        assert!(s.selected_techniques(&[TechniqueSpec::rv()]).is_empty());
+        // The `pr` filter also selects knobbed pr rosters.
+        let knobbed: AppSpec = "pr:iters=4".parse().unwrap();
+        assert_eq!(
+            s.selected_apps(std::slice::from_ref(&knobbed)),
+            vec![knobbed]
+        );
+    }
+
+    #[test]
+    fn knobbed_app_selection_overrides_the_roster() {
+        let mut cfg = SessionConfig::quick();
+        let knobbed: AppSpec = "pr:iters=10".parse().unwrap();
+        cfg.apps = Some(vec![knobbed.clone()]);
+        let s = Session::new(cfg);
+        // A bare `pr` roster entry picks up the selection's knobs...
+        assert_eq!(s.eval_apps(), vec![knobbed]);
+        // ...while a bare selection leaves roster knobs untouched.
+        let mut cfg = SessionConfig::quick();
+        cfg.apps = Some(vec![AppSpec::new(AppId::Pr)]);
+        let s = Session::new(cfg);
+        let roster: AppSpec = "pr:iters=7".parse().unwrap();
+        assert_eq!(s.selected_apps(std::slice::from_ref(&roster)), vec![roster]);
+    }
+
+    #[test]
+    fn composition_runs_through_the_session() {
+        let s = tiny();
+        let spec: TechniqueSpec = "sort+dbg".parse().unwrap();
+        let timed = s.dataset_reorder(DatasetId::Lj, &spec, DegreeKind::Out);
+        assert_eq!(
+            timed.permutation.len(),
+            s.graph(DatasetId::Lj).num_vertices()
+        );
+        let speedup = s.speedup(&AppSpec::new(AppId::Pr), DatasetId::Lj, &spec);
+        assert!(speedup > 0.1 && speedup < 10.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the spec layer's parse/display contract:
+//! every representable spec survives `Display` → `FromStr`, canonical
+//! strings are parse fixpoints, and parse errors carry the offending
+//! token.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use lgr_engine::{AppSpec, SpecError, TechniqueAtom, TechniqueSpec, DEFAULT_SEED};
+
+/// Strategy over every registered technique atom, sweeping the
+/// parameterized ones through non-default values too.
+fn atom_strategy() -> impl Strategy<Value = TechniqueAtom> {
+    (0u32..10, 1u32..40, 0u64..3).prop_map(|(kind, n, seed_sel)| {
+        let seed = match seed_sel {
+            0 => DEFAULT_SEED,
+            1 => 7,
+            _ => u64::MAX,
+        };
+        match kind {
+            0 => TechniqueAtom::Original,
+            1 => TechniqueAtom::Sort,
+            2 => TechniqueAtom::HubSort,
+            3 => TechniqueAtom::HubCluster,
+            4 => TechniqueAtom::HubSortO,
+            5 => TechniqueAtom::HubClusterO,
+            6 => TechniqueAtom::Gorder,
+            7 => TechniqueAtom::Dbg { hot_groups: n },
+            8 => TechniqueAtom::RandomVertex { seed },
+            _ => TechniqueAtom::RandomCacheBlock { blocks: n, seed },
+        }
+    })
+}
+
+proptest! {
+    /// `spec.to_string().parse()` is the identity for every
+    /// registered technique, including `+`-compositions.
+    #[test]
+    fn display_parse_round_trips(atoms in vec(atom_strategy(), 1..4)) {
+        let spec = TechniqueSpec::from_atoms(atoms);
+        let printed = spec.to_string();
+        let reparsed: TechniqueSpec = printed
+            .parse()
+            .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
+        prop_assert_eq!(&reparsed, &spec);
+        // Canonical strings are fixpoints: printing the reparse
+        // changes nothing.
+        prop_assert_eq!(reparsed.to_string(), printed);
+        // Labels are non-empty and never the lying "RCB-n" placeholder.
+        let label = spec.label();
+        prop_assert!(!label.is_empty());
+        prop_assert!(!label.contains("RCB-n"), "placeholder label for {}", spec);
+    }
+
+    /// Unknown technique names surface the offending token and the
+    /// valid names.
+    #[test]
+    fn unknown_names_carry_their_token(suffix in 0u32..100_000) {
+        let bogus = format!("zz{suffix}");
+        match bogus.parse::<TechniqueSpec>() {
+            Err(SpecError::UnknownTechnique { token, valid }) => {
+                prop_assert_eq!(token, bogus.clone());
+                prop_assert!(valid.contains(&"dbg".to_owned()));
+            }
+            other => prop_assert!(false, "expected UnknownTechnique, got {:?}", other),
+        }
+        // The rendered message names the token too (what the CLI
+        // prints).
+        let msg = bogus.parse::<TechniqueSpec>().unwrap_err().to_string();
+        prop_assert!(msg.contains(&bogus), "message `{}` lacks token", msg);
+    }
+
+    /// Malformed parameter values surface their full `key=value`
+    /// token.
+    #[test]
+    fn bad_values_carry_their_token(garbage in 0u32..100_000) {
+        let token = format!("groups=x{garbage}");
+        let s = format!("dbg:{token}");
+        match s.parse::<TechniqueSpec>() {
+            Err(SpecError::InvalidValue { token: t, .. }) => prop_assert_eq!(t, token),
+            other => prop_assert!(false, "expected InvalidValue, got {:?}", other),
+        }
+    }
+
+    /// The app-spec contract mirrors the technique one.
+    #[test]
+    fn app_specs_round_trip(app_sel in 0usize..5, knob in 1usize..1000, with_knob in 0u32..2) {
+        let base = AppSpec::all();
+        let mut app = base[app_sel].clone();
+        if with_knob == 1 {
+            app = match app.token() {
+                "pr" | "prd" => app.with_iters(knob),
+                "sssp" | "bc" => app.with_roots(knob),
+                _ => app, // radii knobs covered by unit tests
+            };
+        }
+        let printed = app.to_string();
+        let reparsed: AppSpec = printed
+            .parse()
+            .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
+        prop_assert_eq!(&reparsed, &app);
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+}

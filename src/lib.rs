@@ -10,6 +10,11 @@
 //!
 //! This crate is a facade re-exporting the workspace members:
 //!
+//! * [`engine`] (`lgr-engine`) — the string-addressable public
+//!   surface: [`Session`](engine::Session),
+//!   [`TechniqueSpec`](engine::TechniqueSpec),
+//!   [`AppSpec`](engine::AppSpec), and JSON-lines
+//!   [`Report`](engine::Report)s.
 //! * [`graph`] (`lgr-graph`) — CSR graphs, generators, dataset
 //!   analogues, skew statistics.
 //! * [`reorder`] (`lgr-core`) — DBG, Sort, HubSort, HubCluster,
@@ -24,27 +29,66 @@
 //!
 //! # Quickstart
 //!
+//! A [`Session`](engine::Session) owns the worker pool and the
+//! graph / permutation / reordered-CSR caches; techniques and apps are
+//! addressed by name, exactly as on the `repro` command line:
+//!
 //! ```
 //! use graph_reorder::prelude::*;
 //!
-//! // 1. A skewed graph whose ordering carries community structure.
-//! let el = gen::community(gen::CommunityConfig::new(1 << 12, 12.0).with_seed(7));
+//! let mut cfg = SessionConfig::quick();
+//! cfg.scale = DatasetScale::with_sd_vertices(1 << 10);
+//! let session = Session::new(cfg);
+//!
+//! // Techniques parse from strings — parameters and composition
+//! // included: "dbg:groups=4", "rcb:3", "gorder+dbg", ...
+//! let spec: TechniqueSpec = "dbg".parse().unwrap();
+//! let app: AppSpec = "pr".parse().unwrap();
+//!
+//! // Run a job; the report serializes to JSON lines.
+//! let job = Job::new(app, DatasetId::Lj).with_technique(spec.clone());
+//! let report = session.report(&job);
+//! assert_eq!(report.technique, "DBG");
+//! println!("{}", report.to_json());
+//!
+//! // Or reorder any graph directly through the same session.
+//! let el = gen::community(gen::CommunityConfig::new(1 << 10, 8.0).with_seed(7));
 //! let graph = Csr::from_edge_list(&el);
-//!
-//! // 2. Reorder with Degree-Based Grouping.
-//! let perm = Dbg::default().reorder(&graph, DegreeKind::Out);
-//! let reordered = graph.apply_permutation(&perm);
-//!
-//! // 3. Run PageRank on the reordered graph.
-//! let pr = pagerank(&reordered, &PrConfig::default(), &mut NullTracer);
-//! assert_eq!(pr.ranks.len(), graph.num_vertices());
+//! let timed = session.reorder(&graph, &spec);
+//! assert_eq!(timed.permutation.len(), graph.num_vertices());
 //! ```
+//!
+//! Techniques are still available as plain types when no session is
+//! wanted — `Dbg::default().reorder(&graph, DegreeKind::Out)` works as
+//! before — and custom techniques registered on a
+//! [`TechniqueRegistry`](engine::TechniqueRegistry) become
+//! string-addressable like the built-ins.
+//!
+//! # Migrating from `TechniqueId`
+//!
+//! The closed `TechniqueId` enum (and the `Harness` in `lgr-bench`)
+//! remain as thin deprecated layers. The spec API replaces them:
+//!
+//! | Legacy call | Spec-based replacement |
+//! |---|---|
+//! | `harness.run(AppId::Pr, ds, Some(TechniqueId::Dbg))` | `session.run(&Job::new("pr".parse()?, ds).with_technique("dbg".parse()?))` |
+//! | `harness.speedup(app, ds, TechniqueId::Sort)` | `session.speedup(&AppSpec::new(app), ds, &"sort".parse()?)` |
+//! | `harness.reorder(ds, TechniqueId::Gorder, kind)` | `session.dataset_reorder(ds, &"gorder".parse()?, kind)` |
+//! | `harness.technique(TechniqueId::HubSort)` | `session.technique(&"hubsort".parse()?)` |
+//! | `TechniqueId::Dbg.name()` | `TechniqueSpec::dbg().label()` |
+//! | `TechniqueId::RandomCacheBlock(3).name()` (lied: `"RCB-n"`) | `TechniqueSpec::rcb(3).label()` (honest: `"RCB-3"`) |
+//! | `Box::new(lgr_core::gorder_dbg())` | `session.technique(&"gorder+dbg".parse()?)` |
+//! | `TechniqueId::MAIN_EVAL` | `TechniqueSpec::main_eval()` |
+//!
+//! `TechniqueSpec` implements `From<TechniqueId>`, so existing enum
+//! values convert directly while code migrates.
 
 #![warn(missing_docs)]
 
 pub use lgr_analytics as analytics;
 pub use lgr_cachesim as cachesim;
 pub use lgr_core as reorder;
+pub use lgr_engine as engine;
 pub use lgr_graph as graph;
 pub use lgr_parallel as parallel;
 
@@ -58,6 +102,10 @@ pub mod prelude {
     pub use lgr_core::{
         Dbg, Gorder, HubCluster, HubSort, Identity, ReorderingTechnique, Sort, TechniqueId,
     };
+    pub use lgr_engine::{
+        AppSpec, Job, Report, Session, SessionConfig, SpecError, TechniqueRegistry, TechniqueSpec,
+    };
+    pub use lgr_graph::datasets::{DatasetId, DatasetScale};
     pub use lgr_graph::{gen, Csr, DegreeKind, EdgeList, Permutation};
     pub use lgr_parallel::Pool;
 }
