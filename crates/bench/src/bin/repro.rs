@@ -1,6 +1,6 @@
 //! `repro` — regenerates the tables and figures of *A Closer Look at
 //! Lightweight Graph Reordering* (IISWC'19) on synthetic dataset
-//! analogues and a simulated memory hierarchy.
+//! analogues (or external graphs) and a simulated memory hierarchy.
 //!
 //! Usage:
 //!
@@ -13,22 +13,29 @@
 //!   --roots <n>          roots per root-dependent app run (default 2)
 //!   --techniques <list>  comma-separated technique specs (dbg,sort,rcb:4,...)
 //!   --apps <list>        comma-separated app specs (pr,sssp,...)
+//!   --datasets <list>    comma-separated dataset specs
+//!                        (sd,kr:sd=15,file:/g.el,lgr:/g.lgr,...)
+//!   --dataset-cache <dir> persist/reload built graphs as binary CSRs
 //!   --sim <knobs>        simulator geometry (cores=8,sockets=2,...)
+//!   --list               print every experiment/technique/app/dataset
+//!                        name and spec grammar, then exit
 //!   --verbose            progress logging to stderr
 //! ```
 //!
-//! Unknown experiment, technique, or app names exit with code 2 and
-//! list the valid names.
+//! Unknown experiment, technique, app, or dataset names exit with
+//! code 2 and list the valid names; malformed spec values (e.g.
+//! `kr:sd=abc`) exit 1 like other bad flags.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use lgr_bench::experiments::{self, Experiment};
-use lgr_bench::{AppSpec, Session, SessionConfig, SpecError, TechniqueSpec};
+use lgr_bench::{AppSpec, DatasetSpec, Session, SessionConfig, SpecError, TechniqueSpec};
 use lgr_cachesim::SimConfig;
+use lgr_engine::{BUILTIN_DATASETS, BUILTIN_TECHNIQUES, DATASET_SPEC_FORMS};
 
-/// Exit code for unknown experiment/technique/app names (distinct
-/// from 1, which covers malformed flags).
+/// Exit code for unknown experiment/technique/app/dataset names
+/// (distinct from 1, which covers malformed flags).
 const EXIT_UNKNOWN_NAME: u8 = 2;
 
 fn main() -> ExitCode {
@@ -38,10 +45,13 @@ fn main() -> ExitCode {
     // `--quick` clobber the roots override).
     let mut quick = false;
     let mut verbose = false;
+    let mut list = false;
     let mut scale_exp: Option<u32> = None;
     let mut roots: Option<usize> = None;
     let mut techniques: Option<Vec<TechniqueSpec>> = None;
     let mut apps: Option<Vec<AppSpec>> = None;
+    let mut datasets: Option<Vec<DatasetSpec>> = None;
+    let mut dataset_cache: Option<std::path::PathBuf> = None;
     let mut sim: Option<SimConfig> = None;
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
@@ -49,6 +59,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => quick = true,
             "--verbose" | "-v" => verbose = true,
+            "--list" => list = true,
             "--scale" => match iter.next().and_then(|s| s.parse::<u32>().ok()) {
                 Some(exp) if (8..=24).contains(&exp) => scale_exp = Some(exp),
                 _ => return usage("--scale needs an exponent in 8..=24"),
@@ -71,6 +82,17 @@ fn main() -> ExitCode {
                 },
                 None => return usage("--apps needs a comma-separated list"),
             },
+            "--datasets" => match iter.next() {
+                Some(list) => match parse_list::<DatasetSpec>(&list) {
+                    Ok(specs) => datasets = Some(specs),
+                    Err(e) => return spec_error(e),
+                },
+                None => return usage("--datasets needs a comma-separated list"),
+            },
+            "--dataset-cache" => match iter.next() {
+                Some(dir) if !dir.is_empty() => dataset_cache = Some(dir.into()),
+                _ => return usage("--dataset-cache needs a directory"),
+            },
             "--sim" => match iter.next().map(|s| s.parse::<SimConfig>()) {
                 Some(Ok(parsed)) => sim = Some(parsed),
                 Some(Err(e)) => return usage(&e.to_string()),
@@ -80,6 +102,10 @@ fn main() -> ExitCode {
             other if other.starts_with('-') => return usage(&format!("unknown option {other}")),
             other => names.push(other.to_owned()),
         }
+    }
+    if list {
+        print_catalog();
+        return ExitCode::SUCCESS;
     }
     let mut cfg = if quick {
         SessionConfig::quick()
@@ -98,6 +124,8 @@ fn main() -> ExitCode {
     cfg.verbose = verbose;
     cfg.techniques = techniques;
     cfg.apps = apps;
+    cfg.datasets = datasets;
+    cfg.dataset_cache = dataset_cache;
 
     if names.iter().any(|n| n == "list") {
         for e in experiments::ALL {
@@ -130,6 +158,18 @@ fn main() -> ExitCode {
         cfg.scale.sd_vertices, cfg.sim.cores, cfg.sim.sockets, cfg.roots
     );
     let session = Session::new(cfg);
+    // Materialize the file-backed datasets up front so a missing or
+    // malformed file is one clean CLI error, not a mid-experiment
+    // panic. Synthetic specs cannot fail and are built lazily by
+    // whichever experiments actually use them.
+    if let Some(selection) = session.config().datasets.clone() {
+        for ds in selection.iter().filter(|d| d.is_file_backed()) {
+            if let Err(e) = session.try_graph(ds) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     for e in selected {
         let start = Instant::now();
         let report = (e.run)(&session);
@@ -143,6 +183,36 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--list`: every name and spec grammar in one place (they otherwise
+/// only appear in error paths).
+fn print_catalog() {
+    println!("experiments:");
+    for e in experiments::ALL {
+        println!("  {:<8} {}", e.name, e.description);
+    }
+    println!("  all      every experiment, in paper order");
+    println!("\ntechniques (--techniques, `+` composes stages):");
+    println!("  names:   {}", BUILTIN_TECHNIQUES.join(", "));
+    println!("  grammar: dbg[:groups=<n>]  rv[:seed=<n>]  rcb:<blocks>[:seed=<n>]");
+    println!("  e.g.:    --techniques dbg:groups=4,rcb:3,gorder+dbg");
+    println!("\napps (--apps):");
+    println!("  names:   bc, sssp, pr, prd, radii");
+    println!("  grammar: pr[:iters=<n>]  prd[:iters=<n>]  sssp[:roots=<n>]  bc[:roots=<n>]");
+    println!("           radii[:rounds=<n>][:sources=<n>]");
+    println!("\ndatasets (--datasets):");
+    println!(
+        "  names:   {} (aliases: kron=kr, uniform=uni)",
+        BUILTIN_DATASETS.join(", ")
+    );
+    println!("  grammar: <name>[:sd=<exp>][:seed=<n>]   (sd gets 2^exp vertices)");
+    for form in DATASET_SPEC_FORMS {
+        println!("           {form}");
+    }
+    println!("  e.g.:    --datasets sd,kr:sd=15,file:/data/web.el,lgr:/data/web.lgr");
+    println!("\ncache:     --dataset-cache <dir> persists built graphs as .lgr binary CSRs");
+    println!("           keyed by spec + scale; later runs reload instead of regenerating");
+}
+
 /// Parses a comma-separated spec list, surfacing the spec layer's
 /// error (which names the offending token and the valid names).
 fn parse_list<T: std::str::FromStr<Err = SpecError>>(list: &str) -> Result<Vec<T>, SpecError> {
@@ -153,9 +223,9 @@ fn parse_list<T: std::str::FromStr<Err = SpecError>>(list: &str) -> Result<Vec<T
 /// errors and exit 1 like every other bad flag.
 fn spec_error(err: SpecError) -> ExitCode {
     match err {
-        SpecError::UnknownTechnique { .. } | SpecError::UnknownApp { .. } => {
-            unknown_name(&err.to_string())
-        }
+        SpecError::UnknownTechnique { .. }
+        | SpecError::UnknownApp { .. }
+        | SpecError::UnknownDataset { .. } => unknown_name(&err.to_string()),
         _ => usage(&err.to_string()),
     }
 }
@@ -170,7 +240,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--quick] [--scale <exp>] [--roots <n>] [--techniques <list>] [--apps <list>] [--sim <knobs>] [--verbose] <experiment>... | all | list"
+        "usage: repro [--quick] [--scale <exp>] [--roots <n>] [--techniques <list>] [--apps <list>] [--datasets <list>] [--dataset-cache <dir>] [--sim <knobs>] [--list] [--verbose] <experiment>... | all | list"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

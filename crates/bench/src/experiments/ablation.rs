@@ -4,7 +4,7 @@
 
 use lgr_analytics::apps::AppId;
 use lgr_core::Dbg;
-use lgr_engine::{AppSpec, Job, Session, TechniqueSpec};
+use lgr_engine::{AppSpec, DatasetSpec, Job, Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 
 use crate::TextTable;
@@ -17,8 +17,13 @@ use crate::TextTable;
 pub fn run(h: &Session) -> String {
     // This is a DBG/PR study: honor the session filters like every
     // other experiment.
+    let datasets = h.selected_datasets(&[
+        DatasetSpec::from(DatasetId::Sd),
+        DatasetSpec::from(DatasetId::Mp),
+    ]);
     if h.selected_techniques(&[TechniqueSpec::dbg()]).is_empty()
         || h.selected_apps(&[AppSpec::new(AppId::Pr)]).is_empty()
+        || datasets.is_empty()
     {
         return super::skipped("Ablation");
     }
@@ -28,15 +33,15 @@ pub fn run(h: &Session) -> String {
     // overrides are ignored here by design).
     let group_counts = [1u32, 2, 4, 6, 8, 10];
     let mut out = String::new();
-    for ds in [DatasetId::Sd, DatasetId::Mp] {
+    for ds in &datasets {
         let mut t = TextTable::new(
             &format!(
                 "Ablation: DBG hot-group count on {} ({})",
-                ds.name(),
-                if ds.is_structured() {
-                    "structured"
-                } else {
-                    "unstructured"
+                ds.label(),
+                match ds.is_structured() {
+                    Some(true) => "structured",
+                    Some(false) => "unstructured",
+                    None => "external",
                 }
             ),
             vec![
@@ -48,7 +53,9 @@ pub fn run(h: &Session) -> String {
             ],
         );
         let graph = h.graph(ds);
-        let base = h.run(&Job::new(AppSpec::new(AppId::Pr), ds)).cycles() as f64;
+        let base = h
+            .run(&Job::new(AppSpec::new(AppId::Pr), ds.clone()))
+            .cycles() as f64;
         for &k in &group_counts {
             let spec = TechniqueSpec::dbg_groups(k);
             let timed = h.reorder_with_kind(&graph, &spec, AppId::Pr.reorder_degree());

@@ -2,7 +2,6 @@
 //! structure-aware quality while making hot vertices contiguous.
 
 use lgr_engine::{Session, TechniqueSpec};
-use lgr_graph::datasets::DatasetId;
 
 use crate::table::geomean;
 use crate::TextTable;
@@ -17,7 +16,8 @@ pub fn run(h: &Session) -> String {
         TechniqueSpec::gorder_dbg(),
     ]);
     let apps = h.eval_apps();
-    if techniques.is_empty() || apps.is_empty() {
+    let datasets = h.main_datasets();
+    if techniques.is_empty() || apps.is_empty() || datasets.is_empty() {
         return super::skipped("Sec. VII (composed)");
     }
     let labels: Vec<String> = techniques.iter().map(TechniqueSpec::label).collect();
@@ -28,8 +28,8 @@ pub fn run(h: &Session) -> String {
         header,
     );
     let mut per_tech: Vec<Vec<f64>> = vec![Vec::new(); techniques.len()];
-    for ds in DatasetId::SKEWED {
-        let mut row = vec![ds.name().to_owned()];
+    for ds in &datasets {
+        let mut row = vec![ds.label()];
         for (i, tech) in techniques.iter().enumerate() {
             let ratios: Vec<f64> = apps.iter().map(|app| h.speedup(app, ds, tech)).collect();
             let gm = geomean(&ratios);

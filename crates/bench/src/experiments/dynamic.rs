@@ -7,7 +7,7 @@
 //! quantifies the paper's claim that churn barely moves the hot set.
 
 use lgr_analytics::apps::AppId;
-use lgr_engine::{Session, TechniqueSpec};
+use lgr_engine::{DatasetSpec, Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 use lgr_graph::evolve::{hot_set_overlap, ChurnConfig, EvolvingGraph};
 
@@ -17,13 +17,16 @@ use crate::TextTable;
 pub fn run(h: &Session) -> String {
     // This is a DBG/PR study: honor the session filters like every
     // other experiment.
+    let selected = h.selected_datasets(&[DatasetSpec::from(DatasetId::Sd)]);
+    let Some(ds) = selected.first() else {
+        return super::skipped("Sec. VIII-B (dynamic)");
+    };
     if h.selected_techniques(&[TechniqueSpec::dbg()]).is_empty()
         || h.selected_apps(&[lgr_engine::AppSpec::new(AppId::Pr)])
             .is_empty()
     {
         return super::skipped("Sec. VIII-B (dynamic)");
     }
-    let ds = DatasetId::Sd;
     let base_graph = h.graph(ds);
     let base_el = base_graph.to_edge_list();
     let num_batches = 8usize;
@@ -31,7 +34,10 @@ pub fn run(h: &Session) -> String {
     let kind = AppId::Pr.reorder_degree();
 
     let mut t = TextTable::new(
-        "Sec. VIII-B: reordering policies on an evolving graph (sd, 8 update batches)",
+        &format!(
+            "Sec. VIII-B: reordering policies on an evolving graph ({}, 8 update batches)",
+            ds.label()
+        ),
         vec![
             "policy",
             "query cycles (G)",

@@ -1,7 +1,7 @@
 //! Fig. 10: net speedup after accounting for reordering time
 //! (single run of each application).
 
-use lgr_engine::{Session, TechniqueSpec};
+use lgr_engine::{DatasetSpec, Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 
 use crate::table::geomean;
@@ -9,13 +9,19 @@ use crate::TextTable;
 
 /// The four datasets of the paper's Fig. 10: the two largest
 /// unstructured and two largest structured.
-pub const DATASETS: [DatasetId; 4] = [DatasetId::Tw, DatasetId::Sd, DatasetId::Fr, DatasetId::Mp];
+pub fn datasets() -> Vec<DatasetSpec> {
+    [DatasetId::Tw, DatasetId::Sd, DatasetId::Fr, DatasetId::Mp]
+        .into_iter()
+        .map(DatasetSpec::from)
+        .collect()
+}
 
 /// Regenerates Fig. 10.
 pub fn run(h: &Session) -> String {
     let techs = h.main_eval();
     let apps = h.eval_apps();
-    if techs.is_empty() || apps.is_empty() {
+    let datasets = h.selected_datasets(&datasets());
+    if techs.is_empty() || apps.is_empty() || datasets.is_empty() {
         return super::skipped("Fig. 10");
     }
     let labels: Vec<String> = techs.iter().map(TechniqueSpec::label).collect();
@@ -26,8 +32,8 @@ pub fn run(h: &Session) -> String {
         header,
     );
     for app in &apps {
-        for ds in DATASETS {
-            let mut row = vec![app.label().to_owned(), ds.name().to_owned()];
+        for ds in &datasets {
+            let mut row = vec![app.label().to_owned(), ds.label()];
             for tech in &techs {
                 let s = h.net_speedup(app, ds, tech, 1);
                 row.push(format!("{:+.1}", (s - 1.0) * 100.0));
@@ -40,9 +46,9 @@ pub fn run(h: &Session) -> String {
         let ratios: Vec<f64> = apps
             .iter()
             .flat_map(|app| {
-                DATASETS
+                datasets
                     .iter()
-                    .map(move |&ds| h.net_speedup(app, ds, tech, 1))
+                    .map(move |ds| h.net_speedup(app, ds, tech, 1))
             })
             .collect();
         gm.push(format!("{:+.1}", (geomean(&ratios) - 1.0) * 100.0));

@@ -4,7 +4,6 @@
 use lgr_analytics::apps::AppId;
 use lgr_engine::{AppSpec, Session, TechniqueSpec};
 
-use crate::experiments::fig10::DATASETS;
 use crate::table::geomean;
 use crate::TextTable;
 
@@ -12,7 +11,8 @@ use crate::TextTable;
 pub fn run(h: &Session) -> String {
     let techs = h.main_eval();
     let mut apps = h.selected_apps(&[AppSpec::new(AppId::Sssp)]);
-    if techs.is_empty() || apps.is_empty() {
+    let datasets = h.selected_datasets(&super::fig10::datasets());
+    if techs.is_empty() || apps.is_empty() || datasets.is_empty() {
         return super::skipped("Fig. 11");
     }
     // Use the selected spec so `--apps sssp:roots=...` knobs apply.
@@ -27,8 +27,8 @@ pub fn run(h: &Session) -> String {
             &format!("Fig. 11: SSSP net speedup (%) with {k} traversal(s)"),
             header,
         );
-        for ds in DATASETS {
-            let mut row = vec![ds.name().to_owned()];
+        for ds in &datasets {
+            let mut row = vec![ds.label()];
             for tech in &techs {
                 let s = h.net_speedup(&sssp, ds, tech, k);
                 row.push(format!("{:+.1}", (s - 1.0) * 100.0));
@@ -37,9 +37,9 @@ pub fn run(h: &Session) -> String {
         }
         let mut gm = vec!["GMean".to_owned()];
         for tech in &techs {
-            let ratios: Vec<f64> = DATASETS
+            let ratios: Vec<f64> = datasets
                 .iter()
-                .map(|&ds| h.net_speedup(&sssp, ds, tech, k))
+                .map(|ds| h.net_speedup(&sssp, ds, tech, k))
                 .collect();
             gm.push(format!("{:+.1}", (geomean(&ratios) - 1.0) * 100.0));
         }

@@ -3,7 +3,6 @@
 
 use lgr_analytics::apps::AppId;
 use lgr_engine::{AppSpec, Session, TechniqueSpec};
-use lgr_graph::datasets::DatasetId;
 
 use crate::TextTable;
 
@@ -16,7 +15,8 @@ pub fn run(h: &Session) -> String {
         TechniqueSpec::rcb(4),
     ]);
     let mut apps = h.selected_apps(&[AppSpec::new(AppId::Radii)]);
-    if techniques.is_empty() || apps.is_empty() {
+    let datasets = h.main_datasets();
+    if techniques.is_empty() || apps.is_empty() || datasets.is_empty() {
         return super::skipped("Fig. 3");
     }
     // Use the selected spec so `--apps radii:rounds=...` knobs apply.
@@ -28,8 +28,8 @@ pub fn run(h: &Session) -> String {
         "Fig. 3: Radii slowdown (%) after random reordering (higher = worse)",
         header,
     );
-    for ds in DatasetId::SKEWED {
-        let mut row = vec![ds.name().to_owned()];
+    for ds in &datasets {
+        let mut row = vec![ds.label()];
         for tech in &techniques {
             let s = h.speedup(&radii, ds, tech);
             // Slowdown% = (time_with / time_base - 1) * 100 = (1/s - 1) * 100.

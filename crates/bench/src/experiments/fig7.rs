@@ -1,7 +1,6 @@
 //! Fig. 7: reordering on no-skew datasets (uni, road).
 
-use lgr_engine::{Session, TechniqueSpec};
-use lgr_graph::datasets::DatasetId;
+use lgr_engine::{DatasetSpec, Session, TechniqueSpec};
 
 use crate::table::geomean;
 use crate::TextTable;
@@ -10,7 +9,8 @@ use crate::TextTable;
 pub fn run(h: &Session) -> String {
     let techs = h.main_eval();
     let apps = h.eval_apps();
-    if techs.is_empty() || apps.is_empty() {
+    let datasets = h.selected_datasets(&DatasetSpec::no_skew());
+    if techs.is_empty() || apps.is_empty() || datasets.is_empty() {
         return super::skipped("Fig. 7");
     }
     let labels: Vec<String> = techs.iter().map(TechniqueSpec::label).collect();
@@ -20,16 +20,16 @@ pub fn run(h: &Session) -> String {
         "Fig. 7: speedup (%) on no-skew datasets (skew-aware techniques should be ~neutral)",
         header,
     );
-    for ds in DatasetId::NO_SKEW {
+    for ds in &datasets {
         for app in &apps {
-            let mut row = vec![ds.name().to_owned(), app.label().to_owned()];
+            let mut row = vec![ds.label(), app.label().to_owned()];
             for tech in &techs {
                 let s = h.speedup(app, ds, tech);
                 row.push(format!("{:+.1}", (s - 1.0) * 100.0));
             }
             t.row(row);
         }
-        let mut gm = vec![ds.name().to_owned(), "GMean".to_owned()];
+        let mut gm = vec![ds.label(), "GMean".to_owned()];
         for tech in &techs {
             let ratios: Vec<f64> = apps.iter().map(|app| h.speedup(app, ds, tech)).collect();
             gm.push(format!("{:+.1}", (geomean(&ratios) - 1.0) * 100.0));

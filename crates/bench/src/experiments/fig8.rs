@@ -2,7 +2,6 @@
 
 use lgr_analytics::apps::AppId;
 use lgr_engine::{AppSpec, Job, Session, TechniqueSpec};
-use lgr_graph::datasets::DatasetId;
 
 use crate::TextTable;
 
@@ -10,7 +9,8 @@ use crate::TextTable;
 pub fn run(h: &Session) -> String {
     let techs = h.main_eval();
     let mut apps = h.selected_apps(&[AppSpec::new(AppId::Pr)]);
-    if techs.is_empty() || apps.is_empty() {
+    let datasets = h.main_datasets();
+    if techs.is_empty() || apps.is_empty() || datasets.is_empty() {
         return super::skipped("Fig. 8");
     }
     // Use the selected spec so `--apps pr:iters=...` knobs apply.
@@ -42,10 +42,10 @@ pub fn run(h: &Session) -> String {
         let mut header = vec!["dataset"];
         header.extend(labels.iter().map(String::as_str));
         let mut t = TextTable::new(title, header);
-        for ds in DatasetId::SKEWED {
-            let mut row = vec![ds.name().to_owned()];
+        for ds in &datasets {
+            let mut row = vec![ds.label()];
             for ord in &orderings {
-                let mut job = Job::new(pr.clone(), ds);
+                let mut job = Job::new(pr.clone(), ds.clone());
                 if let Some(spec) = ord {
                     job = job.with_technique(spec.clone());
                 }

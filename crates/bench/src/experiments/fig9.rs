@@ -3,7 +3,6 @@
 
 use lgr_analytics::apps::AppId;
 use lgr_engine::{AppSpec, Job, Session, TechniqueSpec};
-use lgr_graph::datasets::DatasetId;
 
 use crate::table::pct;
 use crate::TextTable;
@@ -12,7 +11,8 @@ use crate::TextTable;
 pub fn run(h: &Session) -> String {
     let apps = h.selected_apps(&[AppSpec::new(AppId::Sssp), AppSpec::new(AppId::Prd)]);
     let dbg = h.selected_techniques(&[TechniqueSpec::dbg()]);
-    if apps.is_empty() || dbg.is_empty() {
+    let datasets = h.main_datasets();
+    if apps.is_empty() || dbg.is_empty() || datasets.is_empty() {
         return super::skipped("Fig. 9");
     }
     let mut out = String::new();
@@ -35,8 +35,8 @@ pub fn run(h: &Session) -> String {
             ],
         );
         for app in &apps {
-            for ds in DatasetId::SKEWED {
-                let mut job = Job::new(app.clone(), ds);
+            for ds in &datasets {
+                let mut job = Job::new(app.clone(), ds.clone());
                 if let Some(spec) = &tech {
                     job = job.with_technique(spec.clone());
                 }
@@ -44,7 +44,7 @@ pub fn run(h: &Session) -> String {
                 let f = stats.l2_breakdown.fractions();
                 t.row(vec![
                     app.label().to_owned(),
-                    ds.name().to_owned(),
+                    ds.label(),
                     pct(f[0]),
                     pct(f[1]),
                     pct(f[2]),

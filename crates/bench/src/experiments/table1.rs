@@ -1,6 +1,5 @@
 //! Table I: hot-vertex fraction and edge coverage, in- and out-degree.
 
-use lgr_graph::datasets::DatasetId;
 use lgr_graph::stats::SkewStats;
 
 use crate::table::pct;
@@ -8,10 +7,16 @@ use lgr_engine::Session;
 
 use crate::TextTable;
 
-/// Regenerates Table I.
+/// Regenerates Table I over the evaluated datasets (the `--datasets`
+/// selection when one is set, else the paper's eight skewed graphs).
 pub fn run(h: &Session) -> String {
+    let datasets = h.main_datasets();
+    if datasets.is_empty() {
+        return super::skipped("Table I");
+    }
+    let labels: Vec<String> = datasets.iter().map(|d| d.label()).collect();
     let mut header = vec!["metric"];
-    header.extend(DatasetId::SKEWED.iter().map(|d| d.name()));
+    header.extend(labels.iter().map(String::as_str));
     let mut t = TextTable::new(
         "Table I: skew of the evaluated datasets (hot = degree >= average)",
         header,
@@ -20,7 +25,7 @@ pub fn run(h: &Session) -> String {
     let mut in_cov = vec!["In: Edge Coverage (%)".to_owned()];
     let mut out_hot = vec!["Out: Hot Vertices (%)".to_owned()];
     let mut out_cov = vec!["Out: Edge Coverage (%)".to_owned()];
-    for ds in DatasetId::SKEWED {
+    for ds in &datasets {
         let g = h.graph(ds);
         let si = SkewStats::from_degrees(&g.in_degrees());
         let so = SkewStats::from_degrees(&g.out_degrees());

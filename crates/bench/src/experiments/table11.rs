@@ -2,7 +2,6 @@
 //! normalized to Sort.
 
 use lgr_engine::{Session, TechniqueSpec};
-use lgr_graph::datasets::DatasetId;
 use lgr_graph::DegreeKind;
 
 use crate::TextTable;
@@ -16,19 +15,21 @@ pub fn run(h: &Session) -> String {
         TechniqueSpec::hubcluster(),
         TechniqueSpec::dbg(),
     ]);
-    if techniques.is_empty() {
+    let datasets = h.main_datasets();
+    if techniques.is_empty() || datasets.is_empty() {
         return super::skipped("Table XI");
     }
     let sort = TechniqueSpec::sort();
+    let labels: Vec<String> = datasets.iter().map(|d| d.label()).collect();
     let mut header = vec!["technique"];
-    header.extend(DatasetId::SKEWED.iter().map(|d| d.name()));
+    header.extend(labels.iter().map(String::as_str));
     let mut t = TextTable::new(
         "Table XI: reordering time normalized to Sort (lower is better)",
         header,
     );
     for tech in &techniques {
         let mut row = vec![tech.label()];
-        for ds in DatasetId::SKEWED {
+        for ds in &datasets {
             let sort_secs = h
                 .dataset_reorder(ds, &sort, DegreeKind::Out)
                 .elapsed

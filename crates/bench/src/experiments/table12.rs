@@ -2,17 +2,16 @@
 //! technique's reordering time.
 
 use lgr_analytics::apps::AppId;
-use lgr_engine::{AppSpec, Job, Session, TechniqueSpec};
-use lgr_graph::datasets::DatasetId;
+use lgr_engine::{AppSpec, DatasetSpec, Job, Session, TechniqueSpec};
 
-use crate::experiments::fig10::DATASETS;
 use crate::TextTable;
 
 /// Regenerates Table XII.
 pub fn run(h: &Session) -> String {
     let techs = h.main_eval();
     let mut apps = h.selected_apps(&[AppSpec::new(AppId::Pr)]);
-    if techs.is_empty() || apps.is_empty() {
+    let datasets = h.selected_datasets(&super::fig10::datasets());
+    if techs.is_empty() || apps.is_empty() || datasets.is_empty() {
         return super::skipped("Table XII");
     }
     // Use the selected spec so `--apps pr:iters=...` knobs apply.
@@ -24,17 +23,17 @@ pub fn run(h: &Session) -> String {
         "Table XII: minimum PR iterations to amortize reordering time",
         header,
     );
-    let per_iter = |ds: DatasetId, tech: Option<&TechniqueSpec>| -> f64 {
-        let mut job = Job::new(pr.clone(), ds);
+    let per_iter = |ds: &DatasetSpec, tech: Option<&TechniqueSpec>| -> f64 {
+        let mut job = Job::new(pr.clone(), ds.clone());
         if let Some(spec) = tech {
             job = job.with_technique(spec.clone());
         }
         let iters = pr.iters().unwrap_or(h.config().pr_iters);
         h.run(&job).cycles() as f64 / iters.max(1) as f64
     };
-    for ds in DATASETS {
+    for ds in &datasets {
         let base = per_iter(ds, None);
-        let mut row = vec![ds.name().to_owned()];
+        let mut row = vec![ds.label()];
         for tech in &techs {
             let with = per_iter(ds, Some(tech));
             let saving = base - with;

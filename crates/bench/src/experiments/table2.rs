@@ -1,7 +1,6 @@
 //! Table II: average hot vertices per cache block in the original
 //! ordering.
 
-use lgr_graph::datasets::DatasetId;
 use lgr_graph::stats::hot_vertices_per_block;
 
 use lgr_engine::Session;
@@ -10,14 +9,19 @@ use crate::TextTable;
 
 /// Regenerates Table II.
 pub fn run(h: &Session) -> String {
+    let datasets = h.main_datasets();
+    if datasets.is_empty() {
+        return super::skipped("Table II");
+    }
+    let labels: Vec<String> = datasets.iter().map(|d| d.label()).collect();
     let mut header = vec!["metric"];
-    header.extend(DatasetId::SKEWED.iter().map(|d| d.name()));
+    header.extend(labels.iter().map(String::as_str));
     let mut t = TextTable::new(
         "Table II: average hot vertices per 64B cache block (8B properties)",
         header,
     );
     let mut row = vec!["Avg.".to_owned()];
-    for ds in DatasetId::SKEWED {
+    for ds in &datasets {
         let g = h.graph(ds);
         let v = hot_vertices_per_block(&g.out_degrees(), 8);
         row.push(format!("{v:.1}"));

@@ -1,6 +1,5 @@
 //! Table III: cache capacity needed to hold every hot vertex.
 
-use lgr_graph::datasets::DatasetId;
 use lgr_graph::stats::hot_footprint_mib;
 
 use lgr_engine::Session;
@@ -9,15 +8,20 @@ use crate::TextTable;
 
 /// Regenerates Table III.
 pub fn run(h: &Session) -> String {
+    let datasets = h.main_datasets();
+    if datasets.is_empty() {
+        return super::skipped("Table III");
+    }
+    let labels: Vec<String> = datasets.iter().map(|d| d.label()).collect();
     let mut header = vec!["per-vertex property"];
-    header.extend(DatasetId::SKEWED.iter().map(|d| d.name()));
+    header.extend(labels.iter().map(String::as_str));
     let mut t = TextTable::new(
         "Table III: capacity (KiB at this scale) to store all hot vertices",
         header,
     );
     for bytes in [8usize, 16] {
         let mut row = vec![format!("{bytes} bytes")];
-        for ds in DatasetId::SKEWED {
+        for ds in &datasets {
             let g = h.graph(ds);
             let kib = hot_footprint_mib(&g.out_degrees(), bytes) * 1024.0;
             row.push(format!("{kib:.0}"));

@@ -1,16 +1,20 @@
 //! Table IV: degree-range distribution of the hot vertices of `sd`.
 
+use lgr_engine::{DatasetSpec, Session};
 use lgr_graph::datasets::DatasetId;
 use lgr_graph::stats::DegreeRangeDist;
 
 use crate::table::pct;
-use lgr_engine::Session;
 
 use crate::TextTable;
 
 /// Regenerates Table IV.
 pub fn run(h: &Session) -> String {
-    let g = h.graph(DatasetId::Sd);
+    let selected = h.selected_datasets(&[DatasetSpec::from(DatasetId::Sd)]);
+    let Some(sd) = selected.first() else {
+        return super::skipped("Table IV");
+    };
+    let g = h.graph(sd);
     let dist = DegreeRangeDist::compute(&g.out_degrees(), 6, 8);
     let mut header = vec!["metric".to_owned()];
     for b in &dist.buckets {
@@ -21,7 +25,8 @@ pub fn run(h: &Session) -> String {
     }
     let mut t = TextTable::new(
         &format!(
-            "Table IV: hot-vertex degree distribution for sd (A = {:.1})",
+            "Table IV: hot-vertex degree distribution for {} (A = {:.1})",
+            sd.label(),
             dist.average_degree
         ),
         header.iter().map(String::as_str).collect(),

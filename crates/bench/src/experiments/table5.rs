@@ -2,23 +2,29 @@
 //! generalized grouping framework.
 
 use lgr_core::framework::GroupingSpec;
+use lgr_engine::{DatasetSpec, Session};
 use lgr_graph::datasets::DatasetId;
 use lgr_graph::DegreeKind;
-
-use lgr_engine::Session;
 
 use crate::TextTable;
 
 /// Regenerates Table V (group counts for the `sd` dataset's actual
 /// degree statistics).
 pub fn run(h: &Session) -> String {
-    let g = h.graph(DatasetId::Sd);
+    let selected = h.selected_datasets(&[DatasetSpec::from(DatasetId::Sd)]);
+    let Some(sd) = selected.first() else {
+        return super::skipped("Table V");
+    };
+    let g = h.graph(sd);
     let degrees = DegreeKind::Out.degrees(&g);
     let avg = lgr_graph::average_degree(&degrees);
     let max = degrees.iter().copied().max().unwrap_or(0);
 
     let mut t = TextTable::new(
-        &format!("Table V: techniques as grouping instances (sd: A={avg:.1}, M={max})"),
+        &format!(
+            "Table V: techniques as grouping instances ({}: A={avg:.1}, M={max})",
+            sd.label()
+        ),
         vec!["technique", "#groups", "range structure"],
     );
     let sort = GroupingSpec::sort(max);

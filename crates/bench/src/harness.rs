@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use lgr_analytics::apps::AppId;
 use lgr_core::{ReorderingTechnique, TechniqueId, TimedReorder};
-use lgr_engine::{AppSpec, Job, Session, TechniqueSpec};
+use lgr_engine::{AppSpec, DatasetSpec, Job, Session, TechniqueSpec};
 use lgr_graph::datasets::DatasetId;
 use lgr_graph::{Csr, DegreeKind, VertexId};
 use lgr_parallel::Pool;
@@ -60,7 +60,7 @@ impl Harness {
 
     /// The dataset's graph in its original ordering.
     pub fn graph(&self, ds: DatasetId) -> Rc<Csr> {
-        self.session.graph(ds)
+        self.session.graph(&DatasetSpec::from(ds))
     }
 
     /// Instantiates a technique by ID.
@@ -74,19 +74,19 @@ impl Harness {
     /// degrees, cached.
     pub fn reorder(&self, ds: DatasetId, tech: TechniqueId, kind: DegreeKind) -> Rc<TimedReorder> {
         self.session
-            .dataset_reorder(ds, &TechniqueSpec::from(tech), kind)
+            .dataset_reorder(&DatasetSpec::from(ds), &TechniqueSpec::from(tech), kind)
     }
 
     /// The reordered CSR for `tech` on `ds` using `kind` degrees,
     /// cached.
     pub fn reordered_graph(&self, ds: DatasetId, tech: TechniqueId, kind: DegreeKind) -> Rc<Csr> {
         self.session
-            .reordered_graph(ds, &TechniqueSpec::from(tech), kind)
+            .reordered_graph(&DatasetSpec::from(ds), &TechniqueSpec::from(tech), kind)
     }
 
     /// Deterministic roots on the ORIGINAL graph.
     pub fn roots(&self, ds: DatasetId, count: usize) -> Vec<VertexId> {
-        self.session.roots(ds, count)
+        self.session.roots(&DatasetSpec::from(ds), count)
     }
 
     /// Traced run of `app` on `ds` under `tech` (`None` = original
@@ -109,14 +109,17 @@ impl Harness {
     /// Speedup factor of `tech` over the original ordering for
     /// `app` x `ds`, excluding reordering time (Fig. 6's metric).
     pub fn speedup(&self, app: AppId, ds: DatasetId, tech: TechniqueId) -> f64 {
-        self.session
-            .speedup(&AppSpec::new(app), ds, &TechniqueSpec::from(tech))
+        self.session.speedup(
+            &AppSpec::new(app),
+            &DatasetSpec::from(ds),
+            &TechniqueSpec::from(tech),
+        )
     }
 
     /// Converts a wall-clock duration into simulated cycles using the
     /// dataset's PageRank calibration.
     pub fn wall_to_cycles(&self, ds: DatasetId, wall: Duration) -> u64 {
-        self.session.wall_to_cycles(ds, wall)
+        self.session.wall_to_cycles(&DatasetSpec::from(ds), wall)
     }
 
     /// Net speedup including reordering time, amortized over
@@ -130,7 +133,7 @@ impl Harness {
     ) -> f64 {
         self.session.net_speedup(
             &AppSpec::new(app),
-            ds,
+            &DatasetSpec::from(ds),
             &TechniqueSpec::from(tech),
             traversals,
         )
@@ -181,9 +184,11 @@ mod tests {
         // The deprecated enum path and the spec path must resolve to
         // the same cached entries — the adapter adds no second world.
         let a = h.reorder(DatasetId::Lj, TechniqueId::Dbg, DegreeKind::Out);
-        let b =
-            h.session()
-                .dataset_reorder(DatasetId::Lj, &"dbg".parse().unwrap(), DegreeKind::Out);
+        let b = h.session().dataset_reorder(
+            &DatasetSpec::from(DatasetId::Lj),
+            &"dbg".parse().unwrap(),
+            DegreeKind::Out,
+        );
         assert!(Rc::ptr_eq(&a, &b));
     }
 

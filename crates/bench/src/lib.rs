@@ -29,5 +29,7 @@ pub mod harness;
 pub mod table;
 
 pub use harness::{Harness, HarnessConfig};
-pub use lgr_engine::{AppSpec, Job, Report, Session, SessionConfig, SpecError, TechniqueSpec};
+pub use lgr_engine::{
+    AppSpec, DatasetSpec, Job, Report, Session, SessionConfig, SpecError, TechniqueSpec,
+};
 pub use table::TextTable;

@@ -2,10 +2,30 @@
 //! run to completion at the CI scale, and the CLI must reject
 //! malformed invocations.
 
+use std::path::PathBuf;
 use std::process::Command;
 
 fn repro() -> Command {
     Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+/// A unique scratch directory for tests that touch the filesystem.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-smoke-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Writes a small deterministic edge list and returns its path.
+fn write_edge_list(dir: &std::path::Path) -> PathBuf {
+    let path = dir.join("tiny.el");
+    let mut text = String::from("# tiny deterministic graph\n");
+    for i in 0u32..900 {
+        text.push_str(&format!("{} {}\n", i % 150, (i * 13 + 7) % 150));
+    }
+    std::fs::write(&path, text).expect("write edge list");
+    path
 }
 
 #[test]
@@ -172,6 +192,187 @@ fn parameterized_specs_run_end_to_end() {
         !stdout.contains("RCB-n"),
         "placeholder label leaked: {stdout}"
     );
+}
+
+#[test]
+fn unknown_dataset_exits_2_and_lists_names_and_spec_forms() {
+    let out = repro()
+        .args(["--quick", "--datasets", "walrus", "fig6"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("walrus"), "{stderr}");
+    for needle in ["kr", "sd", "file:", "lgr:"] {
+        assert!(
+            stderr.contains(needle),
+            "valid list missing {needle}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn malformed_dataset_values_exit_1() {
+    // `kron` is a valid name (alias of kr) with a bad parameter
+    // value: a malformed flag (exit 1), not an unknown name (exit 2).
+    let out = repro()
+        .args(["--quick", "--datasets", "kron:sd=abc", "fig6"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("sd=abc"), "{stderr}");
+}
+
+#[test]
+fn missing_dataset_file_exits_1_with_a_clean_error() {
+    let out = repro()
+        .args([
+            "--quick",
+            "--datasets",
+            "file:/nonexistent/missing.el",
+            "fig6",
+        ])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing.el"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn list_flag_prints_every_name_and_grammar_in_one_place() {
+    let out = repro().arg("--list").output().expect("spawn repro");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "experiments:",
+        "fig6",
+        "techniques",
+        "dbg[:groups=<n>]",
+        "apps",
+        "radii",
+        "datasets",
+        "file:<path>",
+        "lgr:<path>",
+        "dataset-cache",
+    ] {
+        assert!(
+            stdout.contains(needle),
+            "--list missing {needle}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn dataset_filter_runs_selection_verbatim() {
+    let out = repro()
+        .args(["--quick", "--datasets", "lj,sd", "--apps", "pr", "fig6"])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("selected datasets"), "{stdout}");
+    assert!(stdout.contains("lj"), "{stdout}");
+    // The unstructured/structured class panels collapse into one.
+    assert!(!stdout.contains("Fig. 6a"), "{stdout}");
+}
+
+#[test]
+fn file_dataset_runs_the_full_pipeline_from_the_cli() {
+    let dir = scratch("file-pipeline");
+    let el = write_edge_list(&dir);
+    let out = repro()
+        .args([
+            "--quick",
+            "--datasets",
+            &format!("file:{}", el.display()),
+            "fig6",
+            "table1",
+        ])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The file's stem is the dataset label in every table.
+    assert!(stdout.contains("tiny"), "{stdout}");
+    assert!(stdout.contains("Fig. 6"), "{stdout}");
+    assert!(stdout.contains("Table I"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dataset_cache_reloads_byte_identically() {
+    let dir = scratch("cache-reuse");
+    let el = write_edge_list(&dir);
+    let cache = dir.join("cache");
+    let spec = format!("file:{}", el.display());
+    let run = |extra_verbose: bool| {
+        let mut cmd = repro();
+        cmd.args([
+            "--quick",
+            "--dataset-cache",
+            &cache.display().to_string(),
+            "--datasets",
+            &spec,
+        ]);
+        if extra_verbose {
+            cmd.arg("--verbose");
+        }
+        cmd.args(["fig6", "fig8"]);
+        cmd.output().expect("spawn repro")
+    };
+    // First run builds from text and populates the cache...
+    let first = run(true);
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let stderr1 = String::from_utf8_lossy(&first.stderr);
+    assert!(stderr1.contains("building dataset"), "{stderr1}");
+    let entries: Vec<_> = std::fs::read_dir(&cache)
+        .expect("cache dir exists")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(entries.len(), 1, "one .lgr entry: {entries:?}");
+    assert_eq!(entries[0].extension().unwrap(), "lgr");
+    // ...second run reloads the binary CSR: no regeneration, and the
+    // deterministic report is byte-identical.
+    let second = run(true);
+    assert!(second.status.success());
+    let stderr2 = String::from_utf8_lossy(&second.stderr);
+    assert!(stderr2.contains("from cache"), "{stderr2}");
+    assert!(!stderr2.contains("building dataset"), "{stderr2}");
+    assert_eq!(
+        first.stdout, second.stdout,
+        "cached rerun must be byte-identical"
+    );
+    // The persisted .lgr is itself a first-class dataset spec.
+    let third = repro()
+        .args([
+            "--quick",
+            "--datasets",
+            &format!("lgr:{}", entries[0].display()),
+            "fig6",
+        ])
+        .output()
+        .expect("spawn repro");
+    assert!(
+        third.status.success(),
+        "{}",
+        String::from_utf8_lossy(&third.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

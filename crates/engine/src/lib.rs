@@ -12,13 +12,18 @@
 //!   contract.
 //! * [`AppSpec`] — the five evaluated applications plus per-app knobs
 //!   (`"pr:iters=4"`, `"bc:roots=8"`), same contract.
-//! * [`TechniqueRegistry`] — resolves specs to boxed
-//!   [`ReorderingTechnique`](lgr_core::ReorderingTechnique)s and is
-//!   open to user-registered techniques.
+//! * [`DatasetSpec`] — where a graph comes from: built-in analogues
+//!   (`"sd"`, `"kr:sd=15"`), external text files
+//!   (`"file:/data/web.el"`, `"file:/data/web.mtx:weighted"`), or
+//!   binary CSR snapshots (`"lgr:/data/web.lgr"`), same contract.
+//! * [`TechniqueRegistry`] / [`DatasetRegistry`] — resolve specs to
+//!   boxed [`ReorderingTechnique`](lgr_core::ReorderingTechnique)s
+//!   and graph sources, both open to user registrations.
 //! * [`Session`] — owns the worker pool and the graph / permutation /
 //!   reordered-CSR / root caches, runs traced and untraced [`Job`]s,
-//!   and emits machine-readable [`Report`]s (JSON lines, no external
-//!   dependencies).
+//!   emits machine-readable [`Report`]s (JSON lines, no external
+//!   dependencies), and optionally persists every materialized graph
+//!   to an on-disk [`lgr_io::DatasetCache`].
 //!
 //! # Example
 //!
@@ -42,12 +47,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod app;
+pub mod dataset;
 pub mod registry;
 pub mod report;
 pub mod session;
 pub mod spec;
 
 pub use app::AppSpec;
+pub use dataset::{
+    DatasetBuilder, DatasetError, DatasetGraph, DatasetRegistry, DatasetSource, DatasetSpec,
+    TextFormat, BUILTIN_DATASETS, DATASET_SPEC_FORMS,
+};
 pub use registry::{TechniqueBuilder, TechniqueRegistry};
 pub use report::Report;
 pub use session::{Job, RunStats, Session, SessionConfig};

@@ -15,8 +15,10 @@ pub struct Report {
     pub app: String,
     /// Application spec string (`"pr:iters=4"`).
     pub app_spec: String,
-    /// Dataset name (`"sd"`).
+    /// Dataset label (`"sd"`, the file stem for external sources).
     pub dataset: String,
+    /// Canonical dataset spec string (`"sd"`, `"file:/data/web.el"`).
+    pub dataset_spec: String,
     /// Technique label routed through the spec layer (`"RCB-3"`,
     /// `"Original"` for the baseline).
     pub technique: String,
@@ -49,6 +51,7 @@ impl Report {
     ///     app: "PR".into(),
     ///     app_spec: "pr".into(),
     ///     dataset: "sd".into(),
+    ///     dataset_spec: "sd".into(),
     ///     technique: "DBG".into(),
     ///     spec: "dbg".into(),
     ///     cycles: 1000,
@@ -70,6 +73,8 @@ impl Report {
         write_str(&mut s, "app_spec", &self.app_spec);
         s.push(',');
         write_str(&mut s, "dataset", &self.dataset);
+        s.push(',');
+        write_str(&mut s, "dataset_spec", &self.dataset_spec);
         s.push(',');
         write_str(&mut s, "technique", &self.technique);
         s.push(',');
@@ -141,6 +146,7 @@ mod tests {
             app: "PR".into(),
             app_spec: "pr".into(),
             dataset: "sd".into(),
+            dataset_spec: "sd".into(),
             technique: "DBG".into(),
             spec: "dbg".into(),
             cycles: 12,

@@ -2,15 +2,23 @@
 //! and the paper's measurement methodology, addressable by spec.
 //!
 //! A session is the library-level engine the `repro` harness (and any
-//! future service) drives: it owns the worker [`Pool`], lazily builds
-//! dataset analogues, caches timed permutations and reordered CSRs
+//! future service) drives: it owns the worker [`Pool`], lazily
+//! materializes datasets (synthetic analogues, text files, or binary
+//! `.lgr` snapshots), caches timed permutations and reordered CSRs
 //! under canonicalized keys, and runs traced/untraced application
-//! jobs. Everything is addressed by [`TechniqueSpec`] / [`AppSpec`],
-//! so a string from a CLI flag, config file, or RPC payload reaches
-//! the same cached machinery as a typed call.
+//! jobs. Everything is addressed by [`DatasetSpec`] /
+//! [`TechniqueSpec`] / [`AppSpec`], so a string from a CLI flag,
+//! config file, or RPC payload reaches the same cached machinery as a
+//! typed call.
+//!
+//! With [`SessionConfig::dataset_cache`] set, every materialized
+//! graph is persisted as a checksummed `.lgr` file keyed by spec
+//! string + scale; later sessions reload the binary CSR instead of
+//! regenerating and rebuilding it.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -22,11 +30,13 @@ use lgr_analytics::apps::sssp::{sssp_with_arrays, SsspArrays};
 use lgr_analytics::apps::{AppId, BcConfig, PrConfig, PrdConfig, RadiiConfig, SsspConfig};
 use lgr_cachesim::{MemoryLayout, MemorySim, NullTracer, SimConfig, SimStats};
 use lgr_core::{ReorderingTechnique, TimedReorder};
-use lgr_graph::datasets::{self, DatasetId, DatasetScale};
+use lgr_graph::datasets::DatasetScale;
 use lgr_graph::{Csr, DegreeKind, VertexId};
+use lgr_io::DatasetCache;
 use lgr_parallel::Pool;
 
 use crate::app::AppSpec;
+use crate::dataset::{DatasetError, DatasetGraph, DatasetRegistry, DatasetSpec};
 use crate::registry::TechniqueRegistry;
 use crate::report::Report;
 use crate::spec::{SpecError, TechniqueSpec};
@@ -35,7 +45,7 @@ use crate::spec::{SpecError, TechniqueSpec};
 #[derive(Debug, Clone)]
 pub struct SessionConfig {
     /// Dataset scale (vertex count of `sd`; others keep Table IX
-    /// ratios).
+    /// ratios). Per-spec `sd=`/`seed=` overrides take precedence.
     pub scale: DatasetScale,
     /// Simulated machine.
     pub sim: SimConfig,
@@ -57,6 +67,15 @@ pub struct SessionConfig {
     /// matched by app identity; a knobbed selection entry
     /// (`pr:iters=10`) overrides the roster's knobs.
     pub apps: Option<Vec<AppSpec>>,
+    /// Restrict experiments to these datasets (`None` = the paper's
+    /// rosters). Like `--techniques`, the main evaluation runs the
+    /// selection verbatim — naming `file:/data/web.el` here routes an
+    /// external graph through every spec-driven experiment.
+    pub datasets: Option<Vec<DatasetSpec>>,
+    /// Directory of persisted `.lgr` graphs keyed by spec + scale
+    /// (`None` = rebuild every session). Misses populate the cache;
+    /// hits skip generation, parsing, and CSR construction entirely.
+    pub dataset_cache: Option<PathBuf>,
 }
 
 impl Default for SessionConfig {
@@ -71,6 +90,8 @@ impl Default for SessionConfig {
             verbose: false,
             techniques: None,
             apps: None,
+            datasets: None,
+            dataset_cache: None,
         }
     }
 }
@@ -118,18 +139,20 @@ impl RunStats {
 pub struct Job {
     /// What to run.
     pub app: AppSpec,
-    /// Which dataset analogue to run it on.
-    pub dataset: DatasetId,
+    /// Which dataset to run it on.
+    pub dataset: DatasetSpec,
     /// How to reorder first (`None` = original ordering).
     pub technique: Option<TechniqueSpec>,
 }
 
 impl Job {
-    /// A job on the original ordering.
-    pub fn new(app: AppSpec, dataset: DatasetId) -> Self {
+    /// A job on the original ordering. Accepts anything convertible to
+    /// a [`DatasetSpec`], including a bare
+    /// [`DatasetId`](lgr_graph::datasets::DatasetId).
+    pub fn new(app: AppSpec, dataset: impl Into<DatasetSpec>) -> Self {
         Job {
             app,
-            dataset,
+            dataset: dataset.into(),
             technique: None,
         }
     }
@@ -141,19 +164,20 @@ impl Job {
     }
 }
 
-type ReorderKey = (DatasetId, TechniqueSpec, DegreeKind);
-type RunKey = (AppSpec, DatasetId, Option<TechniqueSpec>);
+type ReorderKey = (DatasetSpec, TechniqueSpec, DegreeKind);
+type RunKey = (AppSpec, DatasetSpec, Option<TechniqueSpec>);
 
 /// Caching engine shared by every experiment, CLI invocation, and
 /// library embedding.
 pub struct Session {
     cfg: SessionConfig,
     registry: TechniqueRegistry,
-    /// Worker pool shared by every CSR build, permutation apply, and
-    /// framework reordering the session performs. Sized by the
-    /// `LGR_THREADS` knob (default: available parallelism).
+    dataset_registry: DatasetRegistry,
+    /// Worker pool shared by every CSR build, permutation apply, file
+    /// parse, and framework reordering the session performs. Sized by
+    /// the `LGR_THREADS` knob (default: available parallelism).
     pool: Pool,
-    graphs: RefCell<HashMap<DatasetId, Rc<Csr>>>,
+    graphs: RefCell<HashMap<DatasetSpec, Rc<Csr>>>,
     reorders: RefCell<HashMap<ReorderKey, Rc<TimedReorder>>>,
     /// Reordered CSRs, cached under the same canonicalized key as the
     /// permutations that produced them — rebuilding the graph per
@@ -163,7 +187,7 @@ pub struct Session {
     /// Per-dataset root candidates (vertices with both edge
     /// directions), so the O(V) scan runs once per dataset rather than
     /// once per prepared run.
-    root_candidates: RefCell<HashMap<DatasetId, Rc<Vec<VertexId>>>>,
+    root_candidates: RefCell<HashMap<DatasetSpec, Rc<Vec<VertexId>>>>,
     runs: RefCell<HashMap<RunKey, Rc<RunStats>>>,
     walls: RefCell<HashMap<RunKey, Duration>>,
 }
@@ -176,17 +200,18 @@ impl std::fmt::Debug for Session {
 
 impl Session {
     /// A session with the given configuration and the built-in
-    /// technique registry.
+    /// technique and dataset registries.
     pub fn new(cfg: SessionConfig) -> Self {
         Self::with_registry(cfg, TechniqueRegistry::new())
     }
 
-    /// A session whose spec strings also resolve against `registry`'s
-    /// custom techniques.
+    /// A session whose technique specs also resolve against
+    /// `registry`'s custom techniques.
     pub fn with_registry(cfg: SessionConfig, registry: TechniqueRegistry) -> Self {
         Session {
             cfg,
             registry,
+            dataset_registry: DatasetRegistry::new(),
             pool: Pool::with_default_threads(),
             graphs: RefCell::new(HashMap::new()),
             reorders: RefCell::new(HashMap::new()),
@@ -218,24 +243,95 @@ impl Session {
         &mut self.registry
     }
 
+    /// The dataset registry specs resolve against.
+    pub fn dataset_registry(&self) -> &DatasetRegistry {
+        &self.dataset_registry
+    }
+
+    /// Mutable dataset-registry access, for registering custom
+    /// sources.
+    pub fn dataset_registry_mut(&mut self) -> &mut DatasetRegistry {
+        &mut self.dataset_registry
+    }
+
     fn log(&self, msg: &str) {
         if self.cfg.verbose {
             eprintln!("[repro] {msg}");
         }
     }
 
-    /// The dataset's graph in its original ordering. Weights are
-    /// always attached (SSSP uses them; other apps ignore them).
-    pub fn graph(&self, ds: DatasetId) -> Rc<Csr> {
-        if let Some(g) = self.graphs.borrow().get(&ds) {
-            return Rc::clone(g);
+    /// The dataset's graph in its original ordering, materialized (or
+    /// loaded from the dataset cache) on first use. Weights are always
+    /// attached (SSSP uses them; other apps ignore them): sources that
+    /// carry none get the deterministic per-spec weight stream.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError`] when the spec names a file that is missing or
+    /// malformed, or a custom source whose builder fails.
+    pub fn try_graph(&self, ds: &DatasetSpec) -> Result<Rc<Csr>, DatasetError> {
+        if let Some(g) = self.graphs.borrow().get(ds) {
+            return Ok(Rc::clone(g));
         }
-        self.log(&format!("building dataset {}", ds.name()));
-        let mut el = datasets::build(ds, self.cfg.scale);
-        el.randomize_weights(64, 0xC0FFEE ^ ds as u64);
-        let g = Rc::new(Csr::from_edge_list_with(&el, &self.pool));
-        self.graphs.borrow_mut().insert(ds, Rc::clone(&g));
-        g
+        let cache = self.cfg.dataset_cache.as_ref().map(DatasetCache::new);
+        let key = ds.cache_key(self.cfg.scale);
+        if let Some(cache) = &cache {
+            if let Some(g) = cache.load(&key) {
+                self.log(&format!("loading dataset {ds} from cache ({key})"));
+                let g = Rc::new(self.ensure_weighted(ds, g));
+                self.graphs.borrow_mut().insert(ds.clone(), Rc::clone(&g));
+                return Ok(g);
+            }
+        }
+        self.log(&format!("building dataset {ds}"));
+        let g = match self
+            .dataset_registry
+            .build(ds, self.cfg.scale, &self.pool)?
+        {
+            DatasetGraph::Edges(mut el) => {
+                if !el.is_weighted() {
+                    el.randomize_weights(64, ds.weight_seed());
+                }
+                Csr::from_edge_list_with(&el, &self.pool)
+            }
+            DatasetGraph::Graph(csr) => self.ensure_weighted(ds, csr),
+        };
+        let g = Rc::new(g);
+        if let Some(cache) = &cache {
+            match cache.store(&key, &g) {
+                Ok(path) => self.log(&format!("cached dataset {ds} at {}", path.display())),
+                Err(e) => eprintln!("[repro] warning: could not cache dataset {ds}: {e}"),
+            }
+        }
+        self.graphs.borrow_mut().insert(ds.clone(), Rc::clone(&g));
+        Ok(g)
+    }
+
+    /// [`Session::try_graph`], panicking on load failure — the
+    /// ergonomic accessor for specs already validated (the `repro`
+    /// binary validates every `--datasets` entry up front).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset fails to materialize.
+    pub fn graph(&self, ds: &DatasetSpec) -> Rc<Csr> {
+        self.try_graph(ds)
+            .unwrap_or_else(|e| panic!("dataset `{ds}`: {e}"))
+    }
+
+    /// Attaches the spec's deterministic weight stream when a loaded
+    /// graph carries none (a hand-made `.lgr` file, say), so every
+    /// dataset is runnable under SSSP.
+    fn ensure_weighted(&self, ds: &DatasetSpec, csr: Csr) -> Csr {
+        if csr.is_weighted() {
+            return csr;
+        }
+        self.log(&format!(
+            "dataset {ds} carries no weights; attaching the deterministic stream"
+        ));
+        let mut el = csr.to_edge_list();
+        el.randomize_weights(64, ds.weight_seed());
+        Csr::from_edge_list_with(&el, &self.pool)
     }
 
     /// Instantiates the technique a spec describes.
@@ -286,16 +382,16 @@ impl Session {
     /// degrees, cached.
     pub fn dataset_reorder(
         &self,
-        ds: DatasetId,
+        ds: &DatasetSpec,
         spec: &TechniqueSpec,
         kind: DegreeKind,
     ) -> Rc<TimedReorder> {
-        let key = (ds, spec.clone(), Self::canonical_kind(spec, kind));
+        let key = (ds.clone(), spec.clone(), Self::canonical_kind(spec, kind));
         if let Some(r) = self.reorders.borrow().get(&key) {
             return Rc::clone(r);
         }
         let graph = self.graph(ds);
-        self.log(&format!("reordering {} with {}", ds.name(), spec.label()));
+        self.log(&format!("reordering {} with {}", ds.label(), spec.label()));
         let timed = Rc::new(self.reorder_with_kind(&graph, spec, key.2));
         self.reorders.borrow_mut().insert(key, Rc::clone(&timed));
         timed
@@ -307,17 +403,17 @@ impl Session {
     /// reuses one relabeled graph.
     pub fn reordered_graph(
         &self,
-        ds: DatasetId,
+        ds: &DatasetSpec,
         spec: &TechniqueSpec,
         kind: DegreeKind,
     ) -> Rc<Csr> {
-        let key = (ds, spec.clone(), Self::canonical_kind(spec, kind));
+        let key = (ds.clone(), spec.clone(), Self::canonical_kind(spec, kind));
         if let Some(g) = self.reordered.borrow().get(&key) {
             return Rc::clone(g);
         }
         let base = self.graph(ds);
         let timed = self.dataset_reorder(ds, spec, kind);
-        self.log(&format!("rebuilding {} under {}", ds.name(), spec.label()));
+        self.log(&format!("rebuilding {} under {}", ds.label(), spec.label()));
         let g = Rc::new(base.apply_permutation_with(&timed.permutation, &self.pool));
         self.reordered.borrow_mut().insert(key, Rc::clone(&g));
         g
@@ -325,8 +421,8 @@ impl Session {
 
     /// The dataset's root candidates (vertices with both in- and
     /// out-edges), cached.
-    fn root_candidates(&self, ds: DatasetId) -> Rc<Vec<VertexId>> {
-        if let Some(c) = self.root_candidates.borrow().get(&ds) {
+    fn root_candidates(&self, ds: &DatasetSpec) -> Rc<Vec<VertexId>> {
+        if let Some(c) = self.root_candidates.borrow().get(ds) {
             return Rc::clone(c);
         }
         let g = self.graph(ds);
@@ -337,7 +433,7 @@ impl Session {
         );
         self.root_candidates
             .borrow_mut()
-            .insert(ds, Rc::clone(&candidates));
+            .insert(ds.clone(), Rc::clone(&candidates));
         candidates
     }
 
@@ -347,7 +443,7 @@ impl Session {
     /// candidate pool the result is the whole pool, never duplicated
     /// roots (a duplicate would double-charge its traversal in the
     /// aggregated simulation).
-    pub fn roots(&self, ds: DatasetId, count: usize) -> Vec<VertexId> {
+    pub fn roots(&self, ds: &DatasetSpec, count: usize) -> Vec<VertexId> {
         let candidates = self.root_candidates(ds);
         if candidates.is_empty() {
             return vec![0];
@@ -366,19 +462,19 @@ impl Session {
     /// configured number of traversals into one simulation, mirroring
     /// the paper's methodology.
     pub fn run(&self, job: &Job) -> Rc<RunStats> {
-        let key = (job.app.clone(), job.dataset, job.technique.clone());
+        let key = (job.app.clone(), job.dataset.clone(), job.technique.clone());
         if let Some(r) = self.runs.borrow().get(&key) {
             return Rc::clone(r);
         }
         self.log(&format!(
             "tracing {} on {} / {}",
             job.app.label(),
-            job.dataset.name(),
+            job.dataset.label(),
             job.technique
                 .as_ref()
                 .map_or_else(|| "Original".to_owned(), TechniqueSpec::label)
         ));
-        let base = self.graph(job.dataset);
+        let base = self.graph(&job.dataset);
         let (graph, roots) = self.prepared(job, &base);
         let stats = self.run_traced(&job.app, &graph, &roots);
         let r = Rc::new(RunStats { stats });
@@ -388,11 +484,11 @@ impl Session {
 
     /// Untraced wall-clock run (same work as [`Session::run`]), cached.
     pub fn wall(&self, job: &Job) -> Duration {
-        let key = (job.app.clone(), job.dataset, job.technique.clone());
+        let key = (job.app.clone(), job.dataset.clone(), job.technique.clone());
         if let Some(d) = self.walls.borrow().get(&key) {
             return *d;
         }
-        let base = self.graph(job.dataset);
+        let base = self.graph(&job.dataset);
         let (graph, roots) = self.prepared(job, &base);
         let start = Instant::now();
         self.run_untraced(&job.app, &graph, &roots);
@@ -406,7 +502,7 @@ impl Session {
     /// [`Report`].
     pub fn report(&self, job: &Job) -> Report {
         let stats = self.run(job);
-        let base = self.run(&Job::new(job.app.clone(), job.dataset));
+        let base = self.run(&Job::new(job.app.clone(), job.dataset.clone()));
         let (technique, spec, reorder_ms) = match &job.technique {
             None => (
                 "Original".to_owned(),
@@ -414,7 +510,7 @@ impl Session {
                 None,
             ),
             Some(spec) => {
-                let timed = self.dataset_reorder(job.dataset, spec, job.app.id().reorder_degree());
+                let timed = self.dataset_reorder(&job.dataset, spec, job.app.id().reorder_degree());
                 (
                     spec.label(),
                     spec.to_string(),
@@ -425,7 +521,8 @@ impl Session {
         Report {
             app: job.app.label().to_owned(),
             app_spec: job.app.to_string(),
-            dataset: job.dataset.name().to_owned(),
+            dataset: job.dataset.label(),
+            dataset_spec: job.dataset.to_string(),
             technique,
             spec,
             cycles: stats.cycles(),
@@ -446,13 +543,13 @@ impl Session {
         } else {
             job.app.roots().unwrap_or(self.cfg.roots)
         };
-        let roots = self.roots(job.dataset, count);
+        let roots = self.roots(&job.dataset, count);
         match &job.technique {
             None => (Rc::clone(base), roots),
             Some(spec) => {
                 let kind = job.app.id().reorder_degree();
-                let timed = self.dataset_reorder(job.dataset, spec, kind);
-                let g = self.reordered_graph(job.dataset, spec, kind);
+                let timed = self.dataset_reorder(&job.dataset, spec, kind);
+                let g = self.reordered_graph(&job.dataset, spec, kind);
                 let mapped = roots.iter().map(|&r| timed.permutation.new_id(r)).collect();
                 (g, mapped)
             }
@@ -573,10 +670,10 @@ impl Session {
 
     /// Speedup factor of `spec` over the original ordering for
     /// `app` x `ds`, excluding reordering time (Fig. 6's metric).
-    pub fn speedup(&self, app: &AppSpec, ds: DatasetId, spec: &TechniqueSpec) -> f64 {
-        let base = self.run(&Job::new(app.clone(), ds)).cycles() as f64;
+    pub fn speedup(&self, app: &AppSpec, ds: &DatasetSpec, spec: &TechniqueSpec) -> f64 {
+        let base = self.run(&Job::new(app.clone(), ds.clone())).cycles() as f64;
         let with = self
-            .run(&Job::new(app.clone(), ds).with_technique(spec.clone()))
+            .run(&Job::new(app.clone(), ds.clone()).with_technique(spec.clone()))
             .cycles() as f64;
         base / with.max(1.0)
     }
@@ -587,8 +684,8 @@ impl Session {
     /// ratio is the exchange rate. This lets measured reordering times
     /// be charged against simulated application cycles (Figs. 10–11,
     /// Table XII).
-    pub fn wall_to_cycles(&self, ds: DatasetId, wall: Duration) -> u64 {
-        let pr = Job::new(AppSpec::new(AppId::Pr), ds);
+    pub fn wall_to_cycles(&self, ds: &DatasetSpec, wall: Duration) -> u64 {
+        let pr = Job::new(AppSpec::new(AppId::Pr), ds.clone());
         let sim_cycles = self.run(&pr).cycles() as f64;
         let host_secs = self.wall(&pr).as_secs_f64().max(1e-9);
         let rate = sim_cycles / host_secs;
@@ -601,13 +698,13 @@ impl Session {
     pub fn net_speedup(
         &self,
         app: &AppSpec,
-        ds: DatasetId,
+        ds: &DatasetSpec,
         spec: &TechniqueSpec,
         traversals: u64,
     ) -> f64 {
-        let base = self.run(&Job::new(app.clone(), ds)).cycles() as f64;
+        let base = self.run(&Job::new(app.clone(), ds.clone())).cycles() as f64;
         let with = self
-            .run(&Job::new(app.clone(), ds).with_technique(spec.clone()))
+            .run(&Job::new(app.clone(), ds.clone()).with_technique(spec.clone()))
             .cycles() as f64;
         let reorder = self.dataset_reorder(ds, spec, app.id().reorder_degree());
         let reorder_cycles = self.wall_to_cycles(ds, reorder.elapsed) as f64;
@@ -649,6 +746,29 @@ impl Session {
         }
     }
 
+    /// Filters a fixed dataset roster (Fig. 7's no-skew pair, Fig.
+    /// 10's four largest, ...) through the session's `--datasets`
+    /// selection, preserving roster order. `None` selects everything.
+    /// Like [`Session::selected_techniques`], this can only subset:
+    /// those experiments are defined over specific datasets.
+    pub fn selected_datasets(&self, roster: &[DatasetSpec]) -> Vec<DatasetSpec> {
+        match &self.cfg.datasets {
+            None => roster.to_vec(),
+            Some(sel) => roster.iter().filter(|d| sel.contains(d)).cloned().collect(),
+        }
+    }
+
+    /// The dataset roster of the main evaluation: the `--datasets`
+    /// selection verbatim when one is set (evaluate exactly what was
+    /// named, including external `file:`/`lgr:` sources no built-in
+    /// roster contains), else the paper's eight skewed datasets.
+    pub fn main_datasets(&self) -> Vec<DatasetSpec> {
+        match &self.cfg.datasets {
+            None => DatasetSpec::skewed(),
+            Some(sel) => sel.clone(),
+        }
+    }
+
     /// The technique roster of the main evaluation: the `--techniques`
     /// selection verbatim when one is set (evaluate exactly what was
     /// named, including parameterizations like `rcb:3` or
@@ -670,6 +790,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lgr_graph::datasets::DatasetId;
 
     fn tiny() -> Session {
         let mut cfg = SessionConfig::quick();
@@ -677,17 +798,36 @@ mod tests {
         Session::new(cfg)
     }
 
+    fn lj() -> DatasetSpec {
+        DatasetSpec::builtin(DatasetId::Lj)
+    }
+
     #[test]
     fn caches_are_keyed_by_spec_and_canonicalized() {
         let s = tiny();
         // Parsed and constructed specs hit the same entry.
         let parsed: TechniqueSpec = "rv".parse().unwrap();
-        let a = s.dataset_reorder(DatasetId::Lj, &parsed, DegreeKind::In);
-        let b = s.dataset_reorder(DatasetId::Lj, &TechniqueSpec::rv(), DegreeKind::Out);
+        let a = s.dataset_reorder(&lj(), &parsed, DegreeKind::In);
+        let b = s.dataset_reorder(
+            &"lj".parse().unwrap(),
+            &TechniqueSpec::rv(),
+            DegreeKind::Out,
+        );
         assert!(Rc::ptr_eq(&a, &b), "RV ignores degree kind");
-        let c = s.dataset_reorder(DatasetId::Lj, &TechniqueSpec::dbg(), DegreeKind::In);
-        let d = s.dataset_reorder(DatasetId::Lj, &TechniqueSpec::dbg(), DegreeKind::Out);
+        let c = s.dataset_reorder(&lj(), &TechniqueSpec::dbg(), DegreeKind::In);
+        let d = s.dataset_reorder(&lj(), &TechniqueSpec::dbg(), DegreeKind::Out);
         assert!(!Rc::ptr_eq(&c, &d), "DBG is degree-kind sensitive");
+    }
+
+    #[test]
+    fn dataset_specs_with_different_scales_are_distinct_graphs() {
+        let s = tiny();
+        let base = s.graph(&lj());
+        let scaled = s.graph(&"lj:sd=11".parse().unwrap());
+        assert!(scaled.num_vertices() > base.num_vertices());
+        let reseeded = s.graph(&"lj:seed=7".parse().unwrap());
+        assert_eq!(reseeded.num_vertices(), base.num_vertices());
+        assert_ne!(*reseeded, *base, "different seed must differ");
     }
 
     #[test]
@@ -711,6 +851,7 @@ mod tests {
         let r = s.report(&Job::new(AppSpec::new(AppId::Pr), DatasetId::Lj));
         assert_eq!(r.technique, "Original");
         assert_eq!(r.spec, "orig");
+        assert_eq!(r.dataset_spec, "lj");
         assert!((r.speedup - 1.0).abs() < 1e-12);
         assert_eq!(r.reorder_ms, None);
         let line = r.to_json();
@@ -735,15 +876,22 @@ mod tests {
         let mut cfg = SessionConfig::quick();
         cfg.techniques = Some(vec![TechniqueSpec::dbg(), TechniqueSpec::sort()]);
         cfg.apps = Some(vec![AppSpec::new(AppId::Pr)]);
+        cfg.datasets = Some(vec![lj(), DatasetSpec::file("/data/web.el")]);
         let s = Session::new(cfg);
-        // main_eval is the selection verbatim (user order).
+        // main_eval / main_datasets are the selection verbatim.
         let techs = s.main_eval();
         assert_eq!(techs, vec![TechniqueSpec::dbg(), TechniqueSpec::sort()]);
+        assert_eq!(
+            s.main_datasets(),
+            vec![lj(), DatasetSpec::file("/data/web.el")]
+        );
         // Fixed rosters intersect with it, keeping roster order.
         assert_eq!(
             s.selected_techniques(&TechniqueSpec::main_eval()),
             vec![TechniqueSpec::sort(), TechniqueSpec::dbg()]
         );
+        assert_eq!(s.selected_datasets(&DatasetSpec::skewed()), vec![lj()]);
+        assert!(s.selected_datasets(&DatasetSpec::no_skew()).is_empty());
         let apps = s.eval_apps();
         assert_eq!(apps, vec![AppSpec::new(AppId::Pr)]);
         // Rosters outside the selection filter to empty.
@@ -753,6 +901,16 @@ mod tests {
         assert_eq!(
             s.selected_apps(std::slice::from_ref(&knobbed)),
             vec![knobbed]
+        );
+    }
+
+    #[test]
+    fn no_selection_defaults_to_paper_rosters() {
+        let s = tiny();
+        assert_eq!(s.main_datasets(), DatasetSpec::skewed());
+        assert_eq!(
+            s.selected_datasets(&DatasetSpec::no_skew()),
+            DatasetSpec::no_skew()
         );
     }
 
@@ -776,12 +934,87 @@ mod tests {
     fn composition_runs_through_the_session() {
         let s = tiny();
         let spec: TechniqueSpec = "sort+dbg".parse().unwrap();
-        let timed = s.dataset_reorder(DatasetId::Lj, &spec, DegreeKind::Out);
-        assert_eq!(
-            timed.permutation.len(),
-            s.graph(DatasetId::Lj).num_vertices()
-        );
-        let speedup = s.speedup(&AppSpec::new(AppId::Pr), DatasetId::Lj, &spec);
+        let timed = s.dataset_reorder(&lj(), &spec, DegreeKind::Out);
+        assert_eq!(timed.permutation.len(), s.graph(&lj()).num_vertices());
+        let speedup = s.speedup(&AppSpec::new(AppId::Pr), &lj(), &spec);
         assert!(speedup > 0.1 && speedup < 10.0);
+    }
+
+    #[test]
+    fn file_datasets_run_the_full_pipeline() {
+        let dir = std::env::temp_dir().join(format!("lgr-session-file-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.el");
+        let mut text = String::from("# tiny community graph\n");
+        for i in 0u32..120 {
+            text.push_str(&format!("{} {}\n", i % 40, (i * 7 + 1) % 40));
+        }
+        std::fs::write(&path, text).unwrap();
+        let s = tiny();
+        let spec: DatasetSpec = format!("file:{}", path.display()).parse().unwrap();
+        let g = s.try_graph(&spec).unwrap();
+        assert_eq!(g.num_vertices(), 40);
+        assert!(g.is_weighted(), "weights attached for SSSP");
+        // Full job pipeline: reorder + analytics + cachesim.
+        let report = s.report(
+            &Job::new(AppSpec::new(AppId::Pr), spec.clone()).with_technique(TechniqueSpec::dbg()),
+        );
+        assert_eq!(report.dataset, "tiny");
+        assert!(report.cycles > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_datasets_error_without_panicking() {
+        let s = tiny();
+        let spec: DatasetSpec = "file:/nonexistent/missing.el".parse().unwrap();
+        assert!(matches!(s.try_graph(&spec), Err(DatasetError::Load { .. })));
+    }
+
+    #[test]
+    fn editing_a_file_dataset_invalidates_the_cache() {
+        let dir = std::env::temp_dir().join(format!("lgr-session-stale-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let el = dir.join("g.el");
+        std::fs::write(&el, "0 1\n1 2\n2 0\n").unwrap();
+        let mut cfg = SessionConfig::quick();
+        cfg.dataset_cache = Some(dir.join("cache"));
+        let spec: DatasetSpec = format!("file:{}", el.display()).parse().unwrap();
+        let first = Session::new(cfg.clone())
+            .try_graph(&spec)
+            .unwrap()
+            .num_edges();
+        // Regenerate the source with different content (length change
+        // alone must miss the cache — mtime granularity is coarse).
+        std::fs::write(&el, "0 1\n1 2\n2 0\n0 2\n2 1\n").unwrap();
+        let second = Session::new(cfg).try_graph(&spec).unwrap().num_edges();
+        assert_eq!(first, 3);
+        assert_eq!(second, 5, "edited file must not be served stale");
+        assert_eq!(
+            std::fs::read_dir(dir.join("cache")).unwrap().count(),
+            2,
+            "two distinct cache entries"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dataset_cache_round_trips_identically() {
+        let dir = std::env::temp_dir().join(format!("lgr-session-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cfg = SessionConfig::quick();
+        cfg.scale = DatasetScale::with_sd_vertices(1 << 10);
+        cfg.dataset_cache = Some(dir.clone());
+        // First session builds and persists...
+        let first = Session::new(cfg.clone());
+        let built = first.try_graph(&lj()).unwrap();
+        let entries = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(entries, 1, "one .lgr entry stored");
+        // ...second session reloads the identical graph from disk.
+        let second = Session::new(cfg);
+        let loaded = second.try_graph(&lj()).unwrap();
+        assert_eq!(*loaded, *built, "cache reload must be exact");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -80,6 +80,14 @@ pub enum SpecError {
         /// Every name that would have been accepted.
         valid: Vec<String>,
     },
+    /// The dataset name is not registered and is not a `file:`/`lgr:`
+    /// form.
+    UnknownDataset {
+        /// The name that failed to resolve.
+        token: String,
+        /// Every name and spec form that would have been accepted.
+        valid: Vec<String>,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -109,6 +117,9 @@ impl fmt::Display for SpecError {
             ),
             SpecError::UnknownApp { token, valid } => {
                 write!(f, "unknown app `{token}`; valid: {}", valid.join(", "))
+            }
+            SpecError::UnknownDataset { token, valid } => {
+                write!(f, "unknown dataset `{token}`; valid: {}", valid.join(", "))
             }
         }
     }

@@ -6,7 +6,11 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use lgr_engine::{AppSpec, SpecError, TechniqueAtom, TechniqueSpec, DEFAULT_SEED};
+use lgr_engine::{
+    AppSpec, DatasetSource, DatasetSpec, SpecError, TechniqueAtom, TechniqueSpec, BUILTIN_DATASETS,
+    DEFAULT_SEED,
+};
+use lgr_graph::datasets::DatasetId;
 
 /// Strategy over every registered technique atom, sweeping the
 /// parameterized ones through non-default values too.
@@ -100,5 +104,82 @@ proptest! {
             .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
         prop_assert_eq!(&reparsed, &app);
         prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    /// The dataset-spec contract mirrors the technique one: every
+    /// representable source survives Display → FromStr, and canonical
+    /// strings are fixpoints.
+    #[test]
+    fn dataset_specs_round_trip(
+        kind in 0u32..4,
+        id_sel in 0usize..10,
+        exp in 4u32..29,
+        seed in 0u64..1_000_000,
+        with_exp in 0u32..2,
+        with_seed in 0u32..2,
+        weighted in 0u32..2,
+        name_sel in 0usize..4,
+    ) {
+        let paths = ["/data/web.el", "/data/web.mtx", "/tmp/a b/c.snap", "rel/graph.lgr"];
+        let spec = match kind {
+            0 => DatasetSpec::from_source(DatasetSource::Synthetic {
+                id: DatasetId::ALL[id_sel],
+                sd_exp: (with_exp == 1).then_some(exp),
+                seed: (with_seed == 1).then_some(seed),
+            }),
+            1 => DatasetSpec::from_source(DatasetSource::File {
+                path: paths[name_sel].to_owned(),
+                format: None,
+                weighted: weighted == 1,
+            }),
+            2 => DatasetSpec::from_source(DatasetSource::File {
+                path: paths[name_sel].to_owned(),
+                format: Some(if weighted == 1 {
+                    lgr_engine::TextFormat::MatrixMarket
+                } else {
+                    lgr_engine::TextFormat::EdgeList
+                }),
+                weighted: weighted == 1,
+            }),
+            _ => DatasetSpec::lgr(paths[name_sel]),
+        };
+        let printed = spec.to_string();
+        let reparsed: DatasetSpec = printed
+            .parse()
+            .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
+        prop_assert_eq!(&reparsed, &spec);
+        prop_assert_eq!(reparsed.to_string(), printed);
+        prop_assert!(!spec.label().is_empty());
+    }
+
+    /// Unknown dataset names surface the offending token plus the
+    /// valid names and spec forms — the `repro` exit-2 contract.
+    #[test]
+    fn unknown_dataset_names_carry_their_token(suffix in 0u32..100_000) {
+        let bogus = format!("zz{suffix}");
+        match bogus.parse::<DatasetSpec>() {
+            Err(SpecError::UnknownDataset { token, valid }) => {
+                prop_assert_eq!(token, bogus.clone());
+                for name in BUILTIN_DATASETS {
+                    prop_assert!(valid.contains(&name.to_owned()));
+                }
+                prop_assert!(valid.iter().any(|v| v.starts_with("file:")));
+            }
+            other => prop_assert!(false, "expected UnknownDataset, got {:?}", other),
+        }
+        let msg = bogus.parse::<DatasetSpec>().unwrap_err().to_string();
+        prop_assert!(msg.contains(&bogus), "message `{}` lacks token", msg);
+    }
+
+    /// Malformed dataset parameter values surface their full token
+    /// (the `repro` exit-1 contract).
+    #[test]
+    fn bad_dataset_values_carry_their_token(garbage in 0u32..100_000) {
+        let token = format!("sd=x{garbage}");
+        let s = format!("kron:{token}");
+        match s.parse::<DatasetSpec>() {
+            Err(SpecError::InvalidValue { token: t, .. }) => prop_assert_eq!(t, token),
+            other => prop_assert!(false, "expected InvalidValue, got {:?}", other),
+        }
     }
 }

@@ -14,19 +14,66 @@ use crate::{EdgeList, Permutation, VertexId, Weight};
 /// make the result independent of the input order, which is what lets
 /// the parallel construction paths produce CSRs structurally equal
 /// (`==`) to the sequential ones.
-fn sort_adjacent(neighbors: &mut [VertexId], weights: Option<&mut [Weight]>) {
+///
+/// `scratch` holds the transient `(neighbor, weight)` pairs of the
+/// weighted path; callers keep one buffer per worker and reuse it
+/// across vertices, so sorting V adjacency lists costs O(max degree)
+/// transient space instead of V allocations.
+fn sort_adjacent(
+    neighbors: &mut [VertexId],
+    weights: Option<&mut [Weight]>,
+    scratch: &mut Vec<(VertexId, Weight)>,
+) {
     match weights {
         None => neighbors.sort_unstable(),
         Some(ws) => {
-            let mut pairs: Vec<(VertexId, Weight)> =
-                neighbors.iter().copied().zip(ws.iter().copied()).collect();
-            pairs.sort_unstable();
-            for (i, (nbr, w)) in pairs.into_iter().enumerate() {
+            scratch.clear();
+            scratch.extend(neighbors.iter().copied().zip(ws.iter().copied()));
+            scratch.sort_unstable();
+            for (i, &(nbr, w)) in scratch.iter().enumerate() {
                 neighbors[i] = nbr;
                 ws[i] = w;
             }
         }
     }
+}
+
+/// Why a set of raw CSR arrays does not describe a valid [`Csr`]
+/// (see [`Csr::from_adjacency_parts`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrPartsError {
+    message: String,
+}
+
+impl CsrPartsError {
+    fn new(message: impl Into<String>) -> Self {
+        CsrPartsError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CsrPartsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid CSR parts: {}", self.message)
+    }
+}
+
+impl std::error::Error for CsrPartsError {}
+
+/// Borrowed view of one adjacency direction's raw arrays, exposed so
+/// serializers (the `.lgr` binary format in `lgr-io`) can write a CSR
+/// without round-tripping through an [`EdgeList`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdjacencyView<'a> {
+    /// Cumulative edge offsets, length `V + 1`:
+    /// `index[v]..index[v + 1]` is vertex `v`'s neighbor range.
+    pub index: &'a [usize],
+    /// Neighbor IDs grouped by owning vertex, ascending within each
+    /// vertex's range (the canonical order).
+    pub neighbors: &'a [VertexId],
+    /// Optional per-edge weights parallel to `neighbors`.
+    pub weights: Option<&'a [Weight]>,
 }
 
 /// One direction of adjacency in CSR form.
@@ -76,11 +123,13 @@ impl Adjacency {
         // edge lists describing the same multigraph build identical
         // CSRs — and gives the ascending-ID edge order real datasets
         // ship with.
+        let mut scratch = Vec::new();
         for v in 0..num_vertices {
             let range = index[v]..index[v + 1];
             sort_adjacent(
                 &mut neighbors[range.clone()],
                 out_weights.as_mut().map(|ws| &mut ws[range.clone()]),
+                &mut scratch,
             );
         }
         Adjacency {
@@ -150,6 +199,7 @@ impl Adjacency {
             let nb = SyncSlice::new(&mut neighbors);
             let wt = out_weights.as_mut().map(|w| SyncSlice::new(w));
             pool.broadcast(|w| {
+                let mut scratch = Vec::new();
                 for v in vranges[w].clone() {
                     let range = index[v]..index[v + 1];
                     // SAFETY: neighbor ranges of distinct vertices are
@@ -157,7 +207,7 @@ impl Adjacency {
                     // range.
                     let nbrs = unsafe { nb.slice_mut(range.clone()) };
                     let ws = wt.map(|wt| unsafe { wt.slice_mut(range.clone()) });
-                    sort_adjacent(nbrs, ws);
+                    sort_adjacent(nbrs, ws, &mut scratch);
                 }
             });
         }
@@ -183,6 +233,7 @@ impl Adjacency {
             .weights
             .as_ref()
             .map(|_| vec![0 as Weight; self.neighbors.len()]);
+        let mut scratch = Vec::new();
         for nv in 0..n {
             let src = self.range(inv[nv]);
             let dst = index[nv]..index[nv + 1];
@@ -195,6 +246,7 @@ impl Adjacency {
             sort_adjacent(
                 &mut neighbors[dst.clone()],
                 weights.as_mut().map(|ws| &mut ws[dst.clone()]),
+                &mut scratch,
             );
         }
         Adjacency {
@@ -250,6 +302,7 @@ impl Adjacency {
             let nb = SyncSlice::new(&mut neighbors);
             let wt = weights.as_mut().map(|w| SyncSlice::new(w));
             pool.broadcast(|w| {
+                let mut scratch = Vec::new();
                 for nv in eranges[w].clone() {
                     let src = self.range(inv[nv]);
                     let dst = index[nv]..index[nv + 1];
@@ -268,7 +321,7 @@ impl Adjacency {
                         }
                         _ => None,
                     };
-                    sort_adjacent(out, out_w);
+                    sort_adjacent(out, out_w, &mut scratch);
                 }
             });
         }
@@ -555,6 +608,128 @@ impl Csr {
             inn: self.inn.permute_with(perm, &inv, pool),
         }
     }
+
+    /// Raw view of the out-direction arrays (for serializers).
+    pub fn out_adjacency(&self) -> AdjacencyView<'_> {
+        AdjacencyView {
+            index: &self.out.index,
+            neighbors: &self.out.neighbors,
+            weights: self.out.weights.as_deref(),
+        }
+    }
+
+    /// Raw view of the in-direction arrays (for serializers).
+    pub fn in_adjacency(&self) -> AdjacencyView<'_> {
+        AdjacencyView {
+            index: &self.inn.index,
+            neighbors: &self.inn.neighbors,
+            weights: self.inn.weights.as_deref(),
+        }
+    }
+
+    /// Reassembles a CSR from the raw arrays of both directions — the
+    /// deserialization counterpart of [`Csr::out_adjacency`] /
+    /// [`Csr::in_adjacency`], used by the `.lgr` binary loader to
+    /// reconstruct a graph with no per-edge parsing or counting sort.
+    ///
+    /// Validates the structural invariants every constructor of this
+    /// type guarantees: index shape and monotonicity, neighbor-ID
+    /// bounds, weight-array parity between directions, equal edge
+    /// counts in both directions, and the canonical ascending
+    /// `(neighbor, weight)` order within each vertex's range (what
+    /// makes CSR equality structural). It does **not** verify that the
+    /// in-direction is the exact transpose of the out-direction;
+    /// serialized files carry a checksum for integrity instead.
+    pub fn from_adjacency_parts(
+        num_vertices: usize,
+        out: (Vec<usize>, Vec<VertexId>, Option<Vec<Weight>>),
+        inn: (Vec<usize>, Vec<VertexId>, Option<Vec<Weight>>),
+    ) -> Result<Csr, CsrPartsError> {
+        if out.2.is_some() != inn.2.is_some() {
+            return Err(CsrPartsError::new(
+                "one direction is weighted and the other is not",
+            ));
+        }
+        let num_edges = out.1.len();
+        if inn.1.len() != num_edges {
+            return Err(CsrPartsError::new(format!(
+                "edge-count mismatch: {} out-edges vs {} in-edges",
+                num_edges,
+                inn.1.len()
+            )));
+        }
+        let validate =
+            |dir: &str,
+             (index, neighbors, weights): &(Vec<usize>, Vec<VertexId>, Option<Vec<Weight>>)|
+             -> Result<(), CsrPartsError> {
+                if index.len() != num_vertices + 1 {
+                    return Err(CsrPartsError::new(format!(
+                        "{dir} index has {} entries, expected {}",
+                        index.len(),
+                        num_vertices + 1
+                    )));
+                }
+                if index.first() != Some(&0) {
+                    return Err(CsrPartsError::new(format!("{dir} index must start at 0")));
+                }
+                if index.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(CsrPartsError::new(format!("{dir} index is not monotonic")));
+                }
+                if index[num_vertices] != neighbors.len() {
+                    return Err(CsrPartsError::new(format!(
+                        "{dir} index ends at {} but there are {} neighbors",
+                        index[num_vertices],
+                        neighbors.len()
+                    )));
+                }
+                if neighbors.iter().any(|&v| v as usize >= num_vertices) {
+                    return Err(CsrPartsError::new(format!(
+                        "{dir} neighbor ID out of range for {num_vertices} vertices"
+                    )));
+                }
+                if let Some(ws) = weights {
+                    if ws.len() != neighbors.len() {
+                        return Err(CsrPartsError::new(format!(
+                            "{dir} weights length {} does not match {} neighbors",
+                            ws.len(),
+                            neighbors.len()
+                        )));
+                    }
+                }
+                for v in 0..num_vertices {
+                    let range = index[v]..index[v + 1];
+                    let sorted = match weights {
+                        None => neighbors[range.clone()].windows(2).all(|w| w[0] <= w[1]),
+                        Some(ws) => range
+                            .clone()
+                            .skip(1)
+                            .all(|i| (neighbors[i - 1], ws[i - 1]) <= (neighbors[i], ws[i])),
+                    };
+                    if !sorted {
+                        return Err(CsrPartsError::new(format!(
+                            "{dir} neighbors of vertex {v} are not in canonical order"
+                        )));
+                    }
+                }
+                Ok(())
+            };
+        validate("out", &out)?;
+        validate("in", &inn)?;
+        Ok(Csr {
+            num_vertices,
+            num_edges,
+            out: Adjacency {
+                index: out.0,
+                neighbors: out.1,
+                weights: out.2,
+            },
+            inn: Adjacency {
+                index: inn.0,
+                neighbors: inn.1,
+                weights: inn.2,
+            },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -655,6 +830,79 @@ mod tests {
         assert_eq!(g.num_vertices(), 0);
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn adjacency_parts_round_trip() {
+        let mut el = EdgeList::new(4);
+        el.push_weighted(0, 1, 5);
+        el.push_weighted(0, 2, 7);
+        el.push_weighted(2, 3, 9);
+        for g in [
+            Csr::from_edge_list(&el),
+            diamond(),
+            Csr::from_edge_list(&EdgeList::new(0)),
+            Csr::from_edge_list(&EdgeList::new(1)),
+        ] {
+            let out = g.out_adjacency();
+            let inn = g.in_adjacency();
+            let rebuilt = Csr::from_adjacency_parts(
+                g.num_vertices(),
+                (
+                    out.index.to_vec(),
+                    out.neighbors.to_vec(),
+                    out.weights.map(<[_]>::to_vec),
+                ),
+                (
+                    inn.index.to_vec(),
+                    inn.neighbors.to_vec(),
+                    inn.weights.map(<[_]>::to_vec),
+                ),
+            )
+            .unwrap();
+            assert_eq!(rebuilt, g);
+        }
+    }
+
+    #[test]
+    fn adjacency_parts_validation_rejects_corruption() {
+        let g = diamond();
+        let parts = |g: &Csr| {
+            let o = g.out_adjacency();
+            let i = g.in_adjacency();
+            (
+                (
+                    o.index.to_vec(),
+                    o.neighbors.to_vec(),
+                    o.weights.map(<[_]>::to_vec),
+                ),
+                (
+                    i.index.to_vec(),
+                    i.neighbors.to_vec(),
+                    i.weights.map(<[_]>::to_vec),
+                ),
+            )
+        };
+        // Out-of-range neighbor.
+        let (mut out, inn) = parts(&g);
+        out.1[0] = 99;
+        assert!(Csr::from_adjacency_parts(4, out, inn).is_err());
+        // Non-monotonic index.
+        let (mut out, inn) = parts(&g);
+        out.0[1] = 4;
+        out.0[2] = 2;
+        assert!(Csr::from_adjacency_parts(4, out, inn).is_err());
+        // Non-canonical neighbor order.
+        let (mut out, inn) = parts(&g);
+        out.1.swap(0, 1);
+        assert!(Csr::from_adjacency_parts(4, out, inn).is_err());
+        // Wrong vertex count.
+        let (out, inn) = parts(&g);
+        assert!(Csr::from_adjacency_parts(5, out, inn).is_err());
+        // Mixed weightedness across directions.
+        let (mut out, inn) = parts(&g);
+        out.2 = Some(vec![1; 4]);
+        assert!(Csr::from_adjacency_parts(4, out, inn).is_err());
     }
 
     #[test]

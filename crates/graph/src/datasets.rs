@@ -106,9 +106,21 @@ impl DatasetId {
         !matches!(self, DatasetId::Uni | DatasetId::Road)
     }
 
-    /// Looks a dataset up by its paper short name.
+    /// Looks a dataset up by its paper short name (case-insensitive),
+    /// accepting the long-form aliases (`kron` for `kr`, `uniform` for
+    /// `uni`) so CLI dataset specs and this lookup agree on one name
+    /// set.
     pub fn from_name(name: &str) -> Option<DatasetId> {
-        DatasetId::ALL.iter().copied().find(|d| d.name() == name)
+        let lower = name.to_ascii_lowercase();
+        let canonical = match lower.as_str() {
+            "kron" => "kr",
+            "uniform" => "uni",
+            other => other,
+        };
+        DatasetId::ALL
+            .iter()
+            .copied()
+            .find(|d| d.name() == canonical)
     }
 
     /// Vertex count relative to `sd` (Table IX: sd has 95M vertices,
@@ -275,6 +287,10 @@ mod tests {
             assert_eq!(DatasetId::from_name(id.name()), Some(id));
         }
         assert_eq!(DatasetId::from_name("nope"), None);
+        // Long-form aliases and case-folding resolve too.
+        assert_eq!(DatasetId::from_name("kron"), Some(DatasetId::Kr));
+        assert_eq!(DatasetId::from_name("uniform"), Some(DatasetId::Uni));
+        assert_eq!(DatasetId::from_name("SD"), Some(DatasetId::Sd));
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod metrics;
 pub mod permutation;
 pub mod stats;
 
-pub use csr::Csr;
+pub use csr::{AdjacencyView, Csr, CsrPartsError};
 pub use degree::{average_degree, DegreeKind};
 pub use edgelist::EdgeList;
 pub use permutation::Permutation;

@@ -1,0 +1,398 @@
+//! The `.lgr` binary CSR format.
+//!
+//! An `.lgr` file is a [`Csr`] serialized exactly: the cumulative
+//! offset arrays and neighbor arrays of **both** adjacency directions,
+//! plus the per-edge weights when present. Reloading therefore skips
+//! edge parsing, counting sort, and canonical re-sorting entirely —
+//! the arrays are copied section-by-section into freshly allocated
+//! (and hence aligned) buffers and validated once.
+//!
+//! # Layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size         field
+//! 0       8            magic b"LGRCSR01" (format version is the
+//!                      trailing two bytes)
+//! 8       4            flags (bit 0: weighted; other bits reserved,
+//!                      must be zero)
+//! 12      4            reserved (zero)
+//! 16      8            num_vertices (u64)
+//! 24      8            num_edges (u64)
+//! 32      8            FNV-1a-style checksum of the payload
+//! 40      -            payload:
+//!                        out index      (V + 1) x u64
+//!                        out neighbors  E x u32
+//!                        out weights    E x u32   (weighted only)
+//!                        in index       (V + 1) x u64
+//!                        in neighbors   E x u32
+//!                        in weights     E x u32   (weighted only)
+//! ```
+//!
+//! The payload length is fully determined by the header, so
+//! truncation and trailing garbage are detected before the checksum
+//! is even computed. A checksum or structural-validation failure
+//! yields [`IoError::Format`]; loaders never panic on bad bytes.
+
+use std::path::Path;
+
+use lgr_graph::{Csr, VertexId, Weight};
+
+use crate::IoError;
+
+/// File magic; the trailing `01` is the format version.
+pub const LGR_MAGIC: [u8; 8] = *b"LGRCSR01";
+
+const FLAG_WEIGHTED: u32 = 1;
+const HEADER_BYTES: usize = 40;
+
+/// Folds the payload into a 64-bit digest, FNV-1a over whole `u64`
+/// words (with a byte-wise tail) so checksumming runs at memory
+/// bandwidth rather than byte-at-a-time speed.
+fn checksum64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(PRIME);
+    }
+    for &b in chunks.remainder() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Appends `vals` to `out` as little-endian `u32`s (bulk copy on
+/// little-endian targets).
+fn push_u32s(out: &mut Vec<u8>, vals: &[u32]) {
+    if cfg!(target_endian = "little") {
+        // SAFETY: u32 has no padding; reinterpreting the slice as raw
+        // bytes is valid, and on a little-endian target the in-memory
+        // byte order is exactly the serialized order.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(vals.as_ptr() as *const u8, vals.len() * 4) };
+        out.extend_from_slice(bytes);
+    } else {
+        for &v in vals {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Appends `vals` to `out` as little-endian `u64`s.
+fn push_u64s(out: &mut Vec<u8>, vals: &[usize]) {
+    if cfg!(target_endian = "little") && std::mem::size_of::<usize>() == 8 {
+        // SAFETY: as in `push_u32s`; usize is 8 bytes on this target.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(vals.as_ptr() as *const u8, vals.len() * 8) };
+        out.extend_from_slice(bytes);
+    } else {
+        for &v in vals {
+            out.extend_from_slice(&(v as u64).to_le_bytes());
+        }
+    }
+}
+
+/// Copies `bytes` (length `4 * n`) into a fresh `Vec<u32>`.
+fn read_u32s(bytes: &[u8]) -> Vec<u32> {
+    debug_assert_eq!(bytes.len() % 4, 0);
+    let n = bytes.len() / 4;
+    let mut out = vec![0u32; n];
+    if cfg!(target_endian = "little") {
+        // SAFETY: the destination vec owns n * 4 writable bytes and
+        // the ranges cannot overlap (freshly allocated).
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr() as *mut u8, n * 4);
+        }
+    } else {
+        for (slot, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+            *slot = u32::from_le_bytes(c.try_into().expect("4-byte chunk"));
+        }
+    }
+    out
+}
+
+/// Copies `bytes` (length `8 * n`) into a fresh `Vec<usize>`, erroring
+/// if any value overflows the target's `usize`.
+fn read_u64s(bytes: &[u8]) -> Result<Vec<usize>, IoError> {
+    debug_assert_eq!(bytes.len() % 8, 0);
+    let n = bytes.len() / 8;
+    if cfg!(target_endian = "little") && std::mem::size_of::<usize>() == 8 {
+        let mut out = vec![0usize; n];
+        // SAFETY: as in `read_u32s`; usize is 8 bytes on this target.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr() as *mut u8, n * 8);
+        }
+        Ok(out)
+    } else {
+        bytes
+            .chunks_exact(8)
+            .map(|c| {
+                let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+                usize::try_from(v)
+                    .map_err(|_| IoError::Format(format!("offset {v} overflows this platform")))
+            })
+            .collect()
+    }
+}
+
+/// Serializes a graph into `.lgr` bytes. The inverse of
+/// [`lgr_from_bytes`]: the deserialized graph is structurally equal
+/// (`==`) to `csr`.
+pub fn lgr_to_bytes(csr: &Csr) -> Vec<u8> {
+    let out = csr.out_adjacency();
+    let inn = csr.in_adjacency();
+    let v = csr.num_vertices();
+    let e = csr.num_edges();
+    let weighted = out.weights.is_some();
+    let payload_len = 2 * (v + 1) * 8 + 2 * e * 4 + if weighted { 2 * e * 4 } else { 0 };
+    let mut payload = Vec::with_capacity(payload_len);
+    for side in [out, inn] {
+        push_u64s(&mut payload, side.index);
+        push_u32s(&mut payload, side.neighbors);
+        if let Some(ws) = side.weights {
+            push_u32s(&mut payload, ws);
+        }
+    }
+    debug_assert_eq!(payload.len(), payload_len);
+    let mut bytes = Vec::with_capacity(HEADER_BYTES + payload.len());
+    bytes.extend_from_slice(&LGR_MAGIC);
+    let flags = if weighted { FLAG_WEIGHTED } else { 0 };
+    bytes.extend_from_slice(&flags.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    bytes.extend_from_slice(&(v as u64).to_le_bytes());
+    bytes.extend_from_slice(&(e as u64).to_le_bytes());
+    bytes.extend_from_slice(&checksum64(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes
+}
+
+fn header_u64(bytes: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8-byte field"))
+}
+
+/// Deserializes `.lgr` bytes into a graph.
+///
+/// # Errors
+///
+/// [`IoError::Format`] on a bad magic/version, unknown flags, a
+/// payload whose length disagrees with the header (truncated or
+/// oversized file), a checksum mismatch, or arrays that violate the
+/// CSR invariants.
+pub fn lgr_from_bytes(bytes: &[u8]) -> Result<Csr, IoError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(IoError::Format(format!(
+            "truncated header: {} bytes, need {HEADER_BYTES}",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != LGR_MAGIC {
+        return Err(IoError::Format(
+            "not an .lgr file (bad magic or unsupported version)".to_owned(),
+        ));
+    }
+    let flags = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte field"));
+    if flags & !FLAG_WEIGHTED != 0 {
+        return Err(IoError::Format(format!("unknown flag bits {flags:#x}")));
+    }
+    let weighted = flags & FLAG_WEIGHTED != 0;
+    let v64 = header_u64(bytes, 16);
+    let e64 = header_u64(bytes, 24);
+    let stored_checksum = header_u64(bytes, 32);
+    let (v, e) = match (usize::try_from(v64), usize::try_from(e64)) {
+        (Ok(v), Ok(e)) => (v, e),
+        _ => {
+            return Err(IoError::Format(format!(
+                "graph too large for this platform ({v64} vertices, {e64} edges)"
+            )))
+        }
+    };
+    // Checked arithmetic: a crafted header with counts near usize::MAX
+    // must surface as a format error, not an overflow panic (the
+    // no-panic contract DatasetCache's corrupt-entry-as-miss relies
+    // on).
+    let sizes = (|| {
+        let index_bytes = v.checked_add(1)?.checked_mul(8)?;
+        let edge_bytes = e.checked_mul(4)?;
+        let side_bytes = index_bytes
+            .checked_add(edge_bytes)?
+            .checked_add(if weighted { edge_bytes } else { 0 })?;
+        Some((index_bytes, edge_bytes, side_bytes.checked_mul(2)?))
+    })();
+    let Some((index_bytes, edge_bytes, expected)) = sizes else {
+        return Err(IoError::Format(format!(
+            "header promises an impossible size ({v} vertices, {e} edges)"
+        )));
+    };
+    let payload = &bytes[HEADER_BYTES..];
+    if payload.len() != expected {
+        return Err(IoError::Format(format!(
+            "payload is {} bytes but the header promises {expected} \
+             ({v} vertices, {e} edges, weighted={weighted}) — truncated or corrupt",
+            payload.len()
+        )));
+    }
+    if checksum64(payload) != stored_checksum {
+        return Err(IoError::Format("checksum mismatch".to_owned()));
+    }
+    // One adjacency direction's owned arrays, in
+    // `Csr::from_adjacency_parts` order.
+    type SideParts = (Vec<usize>, Vec<VertexId>, Option<Vec<Weight>>);
+    let mut off = 0usize;
+    let mut side = || -> Result<SideParts, IoError> {
+        let index = read_u64s(&payload[off..off + index_bytes])?;
+        off += index_bytes;
+        let neighbors = read_u32s(&payload[off..off + edge_bytes]);
+        off += edge_bytes;
+        let weights = if weighted {
+            let ws = read_u32s(&payload[off..off + edge_bytes]);
+            off += edge_bytes;
+            Some(ws)
+        } else {
+            None
+        };
+        Ok((index, neighbors, weights))
+    };
+    let out = side()?;
+    let inn = side()?;
+    Csr::from_adjacency_parts(v, out, inn).map_err(|e| IoError::Format(e.to_string()))
+}
+
+/// Writes `csr` to `path` in `.lgr` format.
+pub fn save_lgr(path: impl AsRef<Path>, csr: &Csr) -> Result<(), IoError> {
+    std::fs::write(path.as_ref(), lgr_to_bytes(csr))?;
+    Ok(())
+}
+
+/// Loads a graph from an `.lgr` file: one bulk read of the whole file,
+/// then section copies into aligned buffers.
+pub fn load_lgr(path: impl AsRef<Path>) -> Result<Csr, IoError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)?;
+    lgr_from_bytes(&bytes).map_err(|e| e.at_path(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgr_graph::EdgeList;
+
+    fn weighted_graph() -> Csr {
+        let mut el = EdgeList::new(5);
+        el.push_weighted(0, 1, 3);
+        el.push_weighted(0, 1, 3); // parallel edge
+        el.push_weighted(1, 1, 9); // self-loop
+        el.push_weighted(4, 0, 7);
+        Csr::from_edge_list(&el)
+    }
+
+    #[test]
+    fn bytes_round_trip_exactly() {
+        for g in [
+            weighted_graph(),
+            Csr::from_edge_list(&EdgeList::new(0)),
+            Csr::from_edge_list(&EdgeList::new(1)),
+        ] {
+            let bytes = lgr_to_bytes(&g);
+            let back = lgr_from_bytes(&bytes).unwrap();
+            assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn files_round_trip() {
+        let g = weighted_graph();
+        let path = std::env::temp_dir().join(format!("lgr-io-test-{}.lgr", std::process::id()));
+        save_lgr(&path, &g).unwrap();
+        let back = load_lgr(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn corrupt_bytes_are_errors_not_panics() {
+        let good = lgr_to_bytes(&weighted_graph());
+        // Too short for a header.
+        assert!(matches!(
+            lgr_from_bytes(&good[..10]),
+            Err(IoError::Format(_))
+        ));
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(lgr_from_bytes(&bad).is_err());
+        // Unknown flag bits.
+        let mut bad = good.clone();
+        bad[8] |= 0x80;
+        assert!(lgr_from_bytes(&bad).is_err());
+        // Truncated payload.
+        assert!(lgr_from_bytes(&good[..good.len() - 3]).is_err());
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.extend_from_slice(&[0, 1, 2]);
+        assert!(lgr_from_bytes(&bad).is_err());
+        // Flipped payload byte: checksum catches it.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        let err = lgr_from_bytes(&bad).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn absurd_header_counts_error_instead_of_overflowing() {
+        // num_vertices near usize::MAX passes the platform check but
+        // must fail size arithmetic cleanly, not panic.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&LGR_MAGIC);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&(u64::MAX / 2).to_le_bytes()); // vertices
+        bytes.extend_from_slice(&(u64::MAX / 2).to_le_bytes()); // edges
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // checksum
+        let err = lgr_from_bytes(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("impossible size") || err.to_string().contains("too large"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn valid_checksum_but_invalid_structure_is_an_error() {
+        // Hand-build a file whose neighbor ID is out of range; the
+        // checksum is honest, so structural validation must catch it.
+        let g = weighted_graph();
+        let out = g.out_adjacency();
+        let inn = g.in_adjacency();
+        let mut bad_neighbors = out.neighbors.to_vec();
+        bad_neighbors[0] = 1000;
+        let forged = {
+            let mut payload = Vec::new();
+            push_u64s(&mut payload, out.index);
+            push_u32s(&mut payload, &bad_neighbors);
+            push_u32s(&mut payload, out.weights.unwrap());
+            push_u64s(&mut payload, inn.index);
+            push_u32s(&mut payload, inn.neighbors);
+            push_u32s(&mut payload, inn.weights.unwrap());
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&LGR_MAGIC);
+            bytes.extend_from_slice(&FLAG_WEIGHTED.to_le_bytes());
+            bytes.extend_from_slice(&0u32.to_le_bytes());
+            bytes.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
+            bytes.extend_from_slice(&(g.num_edges() as u64).to_le_bytes());
+            bytes.extend_from_slice(&checksum64(&payload).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+            bytes
+        };
+        let err = lgr_from_bytes(&forged).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_lgr("/nonexistent/definitely/missing.lgr").unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+    }
+}

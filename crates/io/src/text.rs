@@ -1,0 +1,519 @@
+//! Text graph loaders: SNAP/TSV edge lists and Matrix Market files.
+//!
+//! Both loaders parse on a worker [`Pool`]: the byte buffer is split
+//! into newline-aligned chunks, each worker parses its chunk into a
+//! private edge vector, and the chunks concatenate in file order — so
+//! the resulting [`EdgeList`] is identical for every thread count
+//! (the same determinism contract as the pooled CSR builders).
+//!
+//! Malformed input returns [`IoError::Format`] with the offending
+//! line number; loaders never panic on bad bytes.
+
+use std::ops::Range;
+use std::path::Path;
+
+use lgr_graph::{EdgeList, VertexId, Weight};
+use lgr_parallel::{par_fill, Pool};
+
+use crate::IoError;
+
+/// One worker's share of parsed lines.
+#[derive(Debug, Default)]
+struct Chunk {
+    edges: Vec<(VertexId, VertexId)>,
+    weights: Vec<Weight>,
+    max_id: VertexId,
+    /// Total data+comment lines in the chunk (or lines consumed before
+    /// the error), used to turn a chunk-local error line into a global
+    /// one.
+    lines: usize,
+    /// Data entries (non-comment, non-empty lines) parsed.
+    entries: usize,
+    /// First malformed line, as `(chunk-local line index, message)`.
+    error: Option<(usize, String)>,
+}
+
+/// Splits `text` into up to `parts` ranges whose boundaries fall just
+/// after a newline, so no line straddles two chunks.
+fn newline_chunks(text: &[u8], parts: usize) -> Vec<Range<usize>> {
+    let n = text.len();
+    let parts = parts.max(1).min(n.max(1));
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(0);
+    for p in 1..parts {
+        let target = (n * p / parts).max(*bounds.last().expect("non-empty"));
+        let next = match text[target..].iter().position(|&b| b == b'\n') {
+            Some(i) => target + i + 1,
+            None => n,
+        };
+        if next > *bounds.last().expect("non-empty") {
+            bounds.push(next);
+        }
+    }
+    bounds.push(n);
+    bounds.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+fn is_comment(line: &[u8]) -> bool {
+    matches!(line.first(), Some(b'#') | Some(b'%'))
+}
+
+fn parse_token<T: std::str::FromStr>(token: &[u8], what: &str) -> Result<T, String> {
+    std::str::from_utf8(token)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("expected {what}, got `{}`", String::from_utf8_lossy(token)))
+}
+
+/// Parses one chunk with a per-line closure that may emit up to two
+/// edges (Matrix Market symmetric entries mirror off-diagonals).
+fn parse_chunk<F>(
+    text: &[u8],
+    range: Range<usize>,
+    collect_weights: bool,
+    line_to_edges: F,
+) -> Chunk
+where
+    F: Fn(&[u8]) -> Result<[Option<(VertexId, VertexId, Weight)>; 2], String>,
+{
+    let slice = &text[range];
+    let ends_with_newline = slice.ends_with(b"\n");
+    let mut chunk = Chunk::default();
+    for line in slice.split(|&b| b == b'\n') {
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        let trimmed = line
+            .iter()
+            .position(|b| !b.is_ascii_whitespace())
+            .map_or(&b""[..], |s| &line[s..]);
+        chunk.lines += 1;
+        if trimmed.is_empty() || is_comment(trimmed) {
+            continue;
+        }
+        match line_to_edges(trimmed) {
+            Ok(emitted) => {
+                chunk.entries += 1;
+                for (u, v, w) in emitted.into_iter().flatten() {
+                    chunk.max_id = chunk.max_id.max(u).max(v);
+                    chunk.edges.push((u, v));
+                    if collect_weights {
+                        chunk.weights.push(w);
+                    }
+                }
+            }
+            Err(msg) => {
+                chunk.error = Some((chunk.lines, msg));
+                return chunk;
+            }
+        }
+    }
+    // `split` yields one trailing empty piece for text ending in '\n'.
+    // Uncount it so the next chunk's global line numbers stay exact.
+    if ends_with_newline {
+        chunk.lines -= 1;
+    }
+    chunk
+}
+
+/// Runs the chunked parallel parse and merges the chunks in file
+/// order. `first_line` offsets reported line numbers (for bodies that
+/// start after a header).
+fn parse_lines<F>(
+    text: &[u8],
+    pool: &Pool,
+    first_line: usize,
+    weighted: bool,
+    line_to_edges: F,
+) -> Result<(EdgeList, usize), IoError>
+where
+    F: Fn(&[u8]) -> Result<[Option<(VertexId, VertexId, Weight)>; 2], String> + Sync,
+{
+    let ranges = newline_chunks(text, pool.threads());
+    let mut chunks: Vec<Chunk> = Vec::new();
+    chunks.resize_with(ranges.len(), Chunk::default);
+    par_fill(pool, &mut chunks, |j| {
+        parse_chunk(text, ranges[j].clone(), weighted, &line_to_edges)
+    });
+    // Surface the first error in file order, with its global line.
+    let mut lines_before = first_line;
+    for chunk in &chunks {
+        if let Some((local, msg)) = &chunk.error {
+            return Err(IoError::Format(format!(
+                "line {}: {msg}",
+                lines_before + local
+            )));
+        }
+        lines_before += chunk.lines;
+    }
+    let total_edges: usize = chunks.iter().map(|c| c.edges.len()).sum();
+    let entries: usize = chunks.iter().map(|c| c.entries).sum();
+    let num_vertices = chunks
+        .iter()
+        .filter(|c| !c.edges.is_empty())
+        .map(|c| c.max_id as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut edges = Vec::with_capacity(total_edges);
+    let mut weights = if weighted {
+        Some(Vec::with_capacity(total_edges))
+    } else {
+        None
+    };
+    for chunk in chunks {
+        edges.extend_from_slice(&chunk.edges);
+        if let Some(ws) = weights.as_mut() {
+            ws.extend_from_slice(&chunk.weights);
+        }
+    }
+    Ok((EdgeList::from_parts(num_vertices, edges, weights), entries))
+}
+
+/// Parses a SNAP/TSV-style edge list: one `src dst` pair per line
+/// (whitespace-separated), `#`/`%` comments and blank lines skipped.
+/// Vertex IDs are the integers in the file; the vertex count is
+/// `max ID + 1`.
+///
+/// With `weighted`, a third integer column is required and becomes the
+/// edge weight; without it, any extra columns are ignored.
+pub fn parse_edge_list(text: &[u8], weighted: bool, pool: &Pool) -> Result<EdgeList, IoError> {
+    let (el, _) = parse_lines(text, pool, 0, weighted, |line| {
+        let mut tokens = line
+            .split(|b| b.is_ascii_whitespace())
+            .filter(|t| !t.is_empty());
+        let src: VertexId =
+            parse_token(tokens.next().ok_or("missing source vertex")?, "a vertex ID")?;
+        let dst: VertexId = parse_token(
+            tokens
+                .next()
+                .ok_or_else(|| "missing destination vertex".to_owned())?,
+            "a vertex ID",
+        )?;
+        let w: Weight = if weighted {
+            parse_token(
+                tokens
+                    .next()
+                    .ok_or_else(|| "missing weight column (spec says :weighted)".to_owned())?,
+                "an integer weight",
+            )?
+        } else {
+            1
+        };
+        Ok([Some((src, dst, w)), None])
+    })?;
+    Ok(el)
+}
+
+/// [`parse_edge_list`] over a file's bytes.
+pub fn load_edge_list(
+    path: impl AsRef<Path>,
+    weighted: bool,
+    pool: &Pool,
+) -> Result<EdgeList, IoError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)?;
+    parse_edge_list(&bytes, weighted, pool).map_err(|e| e.at_path(path))
+}
+
+/// Parses a Matrix Market coordinate file
+/// (`%%MatrixMarket matrix coordinate <field> <symmetry>`).
+///
+/// Supported fields: `pattern`, `integer`, `real`; symmetries:
+/// `general`, `symmetric` (symmetric mirrors every off-diagonal
+/// entry). Entries are 1-indexed; the vertex count is
+/// `max(rows, cols)`. With `weighted`, the value column becomes the
+/// edge weight (rounded, must be a finite non-negative number), so the
+/// field must not be `pattern`; without it, values are ignored.
+pub fn parse_matrix_market(text: &[u8], weighted: bool, pool: &Pool) -> Result<EdgeList, IoError> {
+    let mut lines = 0usize;
+    let mut rest = text;
+    let mut next_line = |what: &str| -> Result<&[u8], IoError> {
+        loop {
+            if rest.is_empty() {
+                return Err(IoError::Format(format!(
+                    "line {}: missing {what}",
+                    lines + 1
+                )));
+            }
+            let end = rest
+                .iter()
+                .position(|&b| b == b'\n')
+                .map_or(rest.len(), |i| i + 1);
+            let (line, tail) = rest.split_at(end);
+            rest = tail;
+            lines += 1;
+            let line = line.strip_suffix(b"\n").unwrap_or(line);
+            let line = line.strip_suffix(b"\r").unwrap_or(line);
+            if lines == 1 {
+                return Ok(line); // the %%MatrixMarket banner
+            }
+            if line.is_empty() || is_comment(line) {
+                continue;
+            }
+            return Ok(line);
+        }
+    };
+
+    let banner = next_line("%%MatrixMarket banner")?;
+    let banner_str = String::from_utf8_lossy(banner);
+    let fields: Vec<String> = banner_str
+        .split_ascii_whitespace()
+        .map(str::to_ascii_lowercase)
+        .collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(IoError::Format(format!(
+            "line 1: not a MatrixMarket banner: `{banner_str}`"
+        )));
+    }
+    if fields[2] != "coordinate" {
+        return Err(IoError::Format(format!(
+            "line 1: only `coordinate` matrices are supported, got `{}`",
+            fields[2]
+        )));
+    }
+    let value_field = fields[3].clone();
+    if !matches!(value_field.as_str(), "pattern" | "integer" | "real") {
+        return Err(IoError::Format(format!(
+            "line 1: unsupported field `{value_field}` (expected pattern, integer, or real)"
+        )));
+    }
+    if weighted && value_field == "pattern" {
+        return Err(IoError::Format(
+            "weighted load requested but the matrix field is `pattern` (no values)".to_owned(),
+        ));
+    }
+    let symmetric = match fields[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(IoError::Format(format!(
+                "line 1: unsupported symmetry `{other}` (expected general or symmetric)"
+            )))
+        }
+    };
+
+    let dims = next_line("size line `rows cols nnz`")?;
+    let dims_line = lines;
+    let parse_dim = |t: Option<&[u8]>| -> Result<usize, IoError> {
+        t.and_then(|t| std::str::from_utf8(t).ok())
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                IoError::Format(format!(
+                    "line {dims_line}: malformed size line `{}` (expected `rows cols nnz`)",
+                    String::from_utf8_lossy(dims)
+                ))
+            })
+    };
+    let mut dtok = dims
+        .split(|b| b.is_ascii_whitespace())
+        .filter(|t| !t.is_empty());
+    let rows = parse_dim(dtok.next())?;
+    let cols = parse_dim(dtok.next())?;
+    let nnz = parse_dim(dtok.next())?;
+    let num_vertices = rows.max(cols);
+    if num_vertices > VertexId::MAX as usize {
+        return Err(IoError::Format(format!(
+            "line {dims_line}: {num_vertices} vertices overflow 32-bit vertex IDs"
+        )));
+    }
+
+    let has_values = value_field != "pattern";
+    let (mut el, entries) = parse_lines(rest, pool, lines, weighted, |line| {
+        let mut tokens = line
+            .split(|b| b.is_ascii_whitespace())
+            .filter(|t| !t.is_empty());
+        let i: usize = parse_token(tokens.next().ok_or("missing row index")?, "a row index")?;
+        let j: usize = parse_token(
+            tokens
+                .next()
+                .ok_or_else(|| "missing column index".to_owned())?,
+            "a column index",
+        )?;
+        if i < 1 || i > rows || j < 1 || j > cols {
+            return Err(format!(
+                "entry ({i}, {j}) outside the declared {rows}x{cols} matrix"
+            ));
+        }
+        let w: Weight = if weighted {
+            let token = tokens
+                .next()
+                .ok_or_else(|| "missing value column".to_owned())?;
+            let v: f64 = parse_token(token, "a numeric value")?;
+            if !v.is_finite() || v < 0.0 || v > u32::MAX as f64 {
+                return Err(format!(
+                    "value `{}` is not a usable edge weight",
+                    String::from_utf8_lossy(token)
+                ));
+            }
+            v.round() as Weight
+        } else {
+            if has_values {
+                tokens.next(); // ignore the value column
+            }
+            1
+        };
+        let (u, v) = ((i - 1) as VertexId, (j - 1) as VertexId);
+        let mirror = if symmetric && u != v {
+            Some((v, u, w))
+        } else {
+            None
+        };
+        Ok([Some((u, v, w)), mirror])
+    })?;
+    if entries != nnz {
+        return Err(IoError::Format(format!(
+            "expected {nnz} entries, found {entries} — truncated or padded file"
+        )));
+    }
+    // A symmetric matrix can have fewer distinct IDs than declared
+    // rows; honor the declared dimensions like real loaders do.
+    if el.num_vertices() < num_vertices {
+        let (_, edges, weights) = el.into_parts();
+        el = EdgeList::from_parts(num_vertices, edges, weights);
+    }
+    Ok(el)
+}
+
+/// [`parse_matrix_market`] over a file's bytes.
+pub fn load_matrix_market(
+    path: impl AsRef<Path>,
+    weighted: bool,
+    pool: &Pool,
+) -> Result<EdgeList, IoError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)?;
+    parse_matrix_market(&bytes, weighted, pool).map_err(|e| e.at_path(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Pool {
+        Pool::new(3)
+    }
+
+    #[test]
+    fn edge_list_parses_comments_blanks_and_extra_columns() {
+        let text = b"# SNAP-style comment\n% mtx-style comment\n\n0 1\n1 2 ignored\n 2 0 \n";
+        let el = parse_edge_list(text, false, &pool()).unwrap();
+        assert_eq!(el.num_vertices(), 3);
+        assert_eq!(el.edges(), &[(0, 1), (1, 2), (2, 0)]);
+        assert!(!el.is_weighted());
+    }
+
+    #[test]
+    fn edge_list_weighted_requires_third_column() {
+        let ok = parse_edge_list(b"0 1 5\n1 0 2\n", true, &pool()).unwrap();
+        assert_eq!(ok.weights().unwrap(), &[5, 2]);
+        let err = parse_edge_list(b"0 1 5\n1 0\n", true, &pool()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn edge_list_bad_tokens_carry_line_numbers() {
+        let err = parse_edge_list(b"0 1\n1 2\nnope 3\n", false, &pool()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        assert!(err.to_string().contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn edge_list_is_thread_count_independent() {
+        let mut text = Vec::new();
+        for i in 0u32..500 {
+            text.extend_from_slice(format!("{} {}\n", i % 37, (i * 7) % 37).as_bytes());
+        }
+        let sequential = parse_edge_list(&text, false, &Pool::new(1)).unwrap();
+        for threads in [2, 3, 8] {
+            let pooled = parse_edge_list(&text, false, &Pool::new(threads)).unwrap();
+            assert_eq!(pooled, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_graph() {
+        let el = parse_edge_list(b"", false, &pool()).unwrap();
+        assert_eq!(el.num_vertices(), 0);
+        assert_eq!(el.num_edges(), 0);
+    }
+
+    #[test]
+    fn matrix_market_general_and_symmetric() {
+        let general =
+            b"%%MatrixMarket matrix coordinate pattern general\n% comment\n3 3 2\n1 2\n3 1\n";
+        let el = parse_matrix_market(general, false, &pool()).unwrap();
+        assert_eq!(el.num_vertices(), 3);
+        assert_eq!(el.edges(), &[(0, 1), (2, 0)]);
+
+        let symmetric =
+            b"%%MatrixMarket matrix coordinate integer symmetric\n3 3 3\n1 2 9\n2 2 4\n3 1 7\n";
+        let el = parse_matrix_market(symmetric, true, &pool()).unwrap();
+        // Off-diagonals mirrored, diagonal not.
+        assert_eq!(el.num_edges(), 5);
+        assert!(el.edges().contains(&(1, 0)) && el.edges().contains(&(0, 2)));
+        assert_eq!(el.weights().unwrap().iter().sum::<u32>(), 9 + 9 + 4 + 7 + 7);
+    }
+
+    #[test]
+    fn matrix_market_rejects_malformed_headers() {
+        for (text, needle) in [
+            (&b"3 3 1\n1 2\n"[..], "banner"),
+            (
+                &b"%%MatrixMarket matrix array real general\n3 3 1\n"[..],
+                "coordinate",
+            ),
+            (
+                &b"%%MatrixMarket matrix coordinate complex general\n3 3 1\n"[..],
+                "complex",
+            ),
+            (
+                &b"%%MatrixMarket matrix coordinate real hermitian\n3 3 1\n"[..],
+                "hermitian",
+            ),
+            (
+                &b"%%MatrixMarket matrix coordinate real general\nnot a size line\n"[..],
+                "size",
+            ),
+            (
+                &b"%%MatrixMarket matrix coordinate real general\n"[..],
+                "size",
+            ),
+        ] {
+            let err = parse_matrix_market(text, false, &pool()).unwrap_err();
+            assert!(err.to_string().contains(needle), "{needle}: {err}");
+        }
+    }
+
+    #[test]
+    fn matrix_market_detects_truncation_and_range_errors() {
+        let truncated = b"%%MatrixMarket matrix coordinate pattern general\n3 3 5\n1 2\n2 3\n";
+        let err = parse_matrix_market(truncated, false, &pool()).unwrap_err();
+        assert!(err.to_string().contains("expected 5 entries"), "{err}");
+
+        let out_of_range = b"%%MatrixMarket matrix coordinate pattern general\n3 3 1\n4 1\n";
+        let err = parse_matrix_market(out_of_range, false, &pool()).unwrap_err();
+        assert!(err.to_string().contains("outside"), "{err}");
+
+        let zero_indexed = b"%%MatrixMarket matrix coordinate pattern general\n3 3 1\n0 1\n";
+        assert!(parse_matrix_market(zero_indexed, false, &pool()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_weighted_needs_values() {
+        let pattern = b"%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n";
+        let err = parse_matrix_market(pattern, true, &pool()).unwrap_err();
+        assert!(err.to_string().contains("pattern"), "{err}");
+
+        let real = b"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.5\n2 1 2.49\n";
+        let el = parse_matrix_market(real, true, &pool()).unwrap();
+        assert_eq!(el.weights().unwrap(), &[2, 2]);
+
+        let negative = b"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 -4.0\n";
+        assert!(parse_matrix_market(negative, true, &pool()).is_err());
+    }
+
+    #[test]
+    fn declared_dimensions_win_over_observed_ids() {
+        let text = b"%%MatrixMarket matrix coordinate pattern general\n9 9 1\n1 2\n";
+        let el = parse_matrix_market(text, false, &pool()).unwrap();
+        assert_eq!(el.num_vertices(), 9);
+    }
+}

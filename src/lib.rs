@@ -13,10 +13,14 @@
 //! * [`engine`] (`lgr-engine`) — the string-addressable public
 //!   surface: [`Session`](engine::Session),
 //!   [`TechniqueSpec`](engine::TechniqueSpec),
-//!   [`AppSpec`](engine::AppSpec), and JSON-lines
+//!   [`AppSpec`](engine::AppSpec),
+//!   [`DatasetSpec`](engine::DatasetSpec), and JSON-lines
 //!   [`Report`](engine::Report)s.
 //! * [`graph`] (`lgr-graph`) — CSR graphs, generators, dataset
 //!   analogues, skew statistics.
+//! * [`io`] (`lgr-io`) — on-disk formats: the `.lgr` binary CSR
+//!   snapshot, SNAP/TSV and Matrix Market loaders, and the
+//!   generate-once [`DatasetCache`](io::DatasetCache).
 //! * [`reorder`] (`lgr-core`) — DBG, Sort, HubSort, HubCluster,
 //!   Gorder, random probes, and the generalized grouping framework.
 //! * [`analytics`] (`lgr-analytics`) — the Ligra-style engine and the
@@ -30,8 +34,9 @@
 //! # Quickstart
 //!
 //! A [`Session`](engine::Session) owns the worker pool and the
-//! graph / permutation / reordered-CSR caches; techniques and apps are
-//! addressed by name, exactly as on the `repro` command line:
+//! graph / permutation / reordered-CSR caches; datasets, techniques,
+//! and apps are addressed by name, exactly as on the `repro` command
+//! line:
 //!
 //! ```
 //! use graph_reorder::prelude::*;
@@ -40,13 +45,14 @@
 //! cfg.scale = DatasetScale::with_sd_vertices(1 << 10);
 //! let session = Session::new(cfg);
 //!
-//! // Techniques parse from strings — parameters and composition
+//! // Everything parses from strings — parameters and composition
 //! // included: "dbg:groups=4", "rcb:3", "gorder+dbg", ...
 //! let spec: TechniqueSpec = "dbg".parse().unwrap();
 //! let app: AppSpec = "pr".parse().unwrap();
+//! let ds: DatasetSpec = "lj".parse().unwrap();
 //!
 //! // Run a job; the report serializes to JSON lines.
-//! let job = Job::new(app, DatasetId::Lj).with_technique(spec.clone());
+//! let job = Job::new(app, ds).with_technique(spec.clone());
 //! let report = session.report(&job);
 //! assert_eq!(report.technique, "DBG");
 //! println!("{}", report.to_json());
@@ -57,6 +63,33 @@
 //! let timed = session.reorder(&graph, &spec);
 //! assert_eq!(timed.permutation.len(), graph.num_vertices());
 //! ```
+//!
+//! # Datasets
+//!
+//! A [`DatasetSpec`](engine::DatasetSpec) names where a graph comes
+//! from; every spec round-trips through `Display`/`FromStr` and works
+//! uniformly in `Job`s, session caches, and `repro --datasets`:
+//!
+//! | Spec | Source |
+//! |---|---|
+//! | `"sd"`, `"kr"` (alias `"kron"`), ... | built-in synthetic analogue at the session scale |
+//! | `"kr:sd=15"` | same, at the scale where `sd` has 2^15 vertices |
+//! | `"kr:seed=7"` | same, reseeded generator |
+//! | `"file:/data/web.el"` | SNAP/TSV edge list (`src dst [weight]` lines) |
+//! | `"file:/data/web.mtx:weighted"` | Matrix Market, value column as weights |
+//! | `"file:/data/raw:fmt=el"` | explicit format when the extension is ambiguous |
+//! | `"lgr:/data/web.lgr"` | binary CSR snapshot — reloads with no parsing or rebuild |
+//!
+//! Text files parse in parallel on the session pool; sources without
+//! weights get a deterministic per-spec weight stream so SSSP always
+//! runs. Setting
+//! [`SessionConfig::dataset_cache`](engine::SessionConfig) (or
+//! `repro --dataset-cache <dir>`) persists every materialized graph
+//! as a checksummed `.lgr` file named by spec + scale; later runs
+//! reload the binary CSR byte-identically instead of regenerating.
+//! Custom sources registered on a
+//! [`DatasetRegistry`](engine::DatasetRegistry) become
+//! string-addressable like the built-ins.
 //!
 //! Techniques are still available as plain types when no session is
 //! wanted — `Dbg::default().reorder(&graph, DegreeKind::Out)` works as
@@ -90,6 +123,7 @@ pub use lgr_cachesim as cachesim;
 pub use lgr_core as reorder;
 pub use lgr_engine as engine;
 pub use lgr_graph as graph;
+pub use lgr_io as io;
 pub use lgr_parallel as parallel;
 
 /// The most commonly used items in one import.
@@ -103,9 +137,11 @@ pub mod prelude {
         Dbg, Gorder, HubCluster, HubSort, Identity, ReorderingTechnique, Sort, TechniqueId,
     };
     pub use lgr_engine::{
-        AppSpec, Job, Report, Session, SessionConfig, SpecError, TechniqueRegistry, TechniqueSpec,
+        AppSpec, DatasetRegistry, DatasetSpec, Job, Report, Session, SessionConfig, SpecError,
+        TechniqueRegistry, TechniqueSpec,
     };
     pub use lgr_graph::datasets::{DatasetId, DatasetScale};
     pub use lgr_graph::{gen, Csr, DegreeKind, EdgeList, Permutation};
+    pub use lgr_io::DatasetCache;
     pub use lgr_parallel::Pool;
 }
