@@ -9,7 +9,7 @@
 //! [`lgr_engine::AppSpec`] directly; see the facade crate's
 //! migration notes for the old-call → spec mapping.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use lgr_analytics::apps::AppId;
@@ -59,7 +59,7 @@ impl Harness {
     }
 
     /// The dataset's graph in its original ordering.
-    pub fn graph(&self, ds: DatasetId) -> Rc<Csr> {
+    pub fn graph(&self, ds: DatasetId) -> Arc<Csr> {
         self.session.graph(&DatasetSpec::from(ds))
     }
 
@@ -72,14 +72,14 @@ impl Harness {
 
     /// The (timed) permutation for `tech` on `ds` using `kind`
     /// degrees, cached.
-    pub fn reorder(&self, ds: DatasetId, tech: TechniqueId, kind: DegreeKind) -> Rc<TimedReorder> {
+    pub fn reorder(&self, ds: DatasetId, tech: TechniqueId, kind: DegreeKind) -> Arc<TimedReorder> {
         self.session
             .dataset_reorder(&DatasetSpec::from(ds), &TechniqueSpec::from(tech), kind)
     }
 
     /// The reordered CSR for `tech` on `ds` using `kind` degrees,
     /// cached.
-    pub fn reordered_graph(&self, ds: DatasetId, tech: TechniqueId, kind: DegreeKind) -> Rc<Csr> {
+    pub fn reordered_graph(&self, ds: DatasetId, tech: TechniqueId, kind: DegreeKind) -> Arc<Csr> {
         self.session
             .reordered_graph(&DatasetSpec::from(ds), &TechniqueSpec::from(tech), kind)
     }
@@ -91,7 +91,7 @@ impl Harness {
 
     /// Traced run of `app` on `ds` under `tech` (`None` = original
     /// ordering), cached.
-    pub fn run(&self, app: AppId, ds: DatasetId, tech: Option<TechniqueId>) -> Rc<RunStats> {
+    pub fn run(&self, app: AppId, ds: DatasetId, tech: Option<TechniqueId>) -> Arc<RunStats> {
         self.session.run(&job(app, ds, tech))
     }
 
@@ -164,7 +164,7 @@ mod tests {
         let h = tiny();
         let a = h.graph(DatasetId::Lj);
         let b = h.graph(DatasetId::Lj);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
@@ -172,10 +172,10 @@ mod tests {
         let h = tiny();
         let a = h.reorder(DatasetId::Lj, TechniqueId::RandomVertex, DegreeKind::In);
         let b = h.reorder(DatasetId::Lj, TechniqueId::RandomVertex, DegreeKind::Out);
-        assert!(Rc::ptr_eq(&a, &b), "RV ignores degree kind");
+        assert!(Arc::ptr_eq(&a, &b), "RV ignores degree kind");
         let c = h.reorder(DatasetId::Lj, TechniqueId::Dbg, DegreeKind::In);
         let d = h.reorder(DatasetId::Lj, TechniqueId::Dbg, DegreeKind::Out);
-        assert!(!Rc::ptr_eq(&c, &d), "DBG is degree-kind sensitive");
+        assert!(!Arc::ptr_eq(&c, &d), "DBG is degree-kind sensitive");
     }
 
     #[test]
@@ -189,7 +189,7 @@ mod tests {
             &"dbg".parse().unwrap(),
             DegreeKind::Out,
         );
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
@@ -249,11 +249,11 @@ mod tests {
         let h = tiny();
         let a = h.reordered_graph(DatasetId::Lj, TechniqueId::Dbg, DegreeKind::Out);
         let b = h.reordered_graph(DatasetId::Lj, TechniqueId::Dbg, DegreeKind::Out);
-        assert!(Rc::ptr_eq(&a, &b), "same key must reuse the CSR");
+        assert!(Arc::ptr_eq(&a, &b), "same key must reuse the CSR");
         // Degree-kind canonicalization applies to the graph cache too.
         let c = h.reordered_graph(DatasetId::Lj, TechniqueId::RandomVertex, DegreeKind::In);
         let d = h.reordered_graph(DatasetId::Lj, TechniqueId::RandomVertex, DegreeKind::Out);
-        assert!(Rc::ptr_eq(&c, &d), "RV ignores degree kind");
+        assert!(Arc::ptr_eq(&c, &d), "RV ignores degree kind");
         // And the cached graph matches a fresh sequential apply.
         let timed = h.reorder(DatasetId::Lj, TechniqueId::Dbg, DegreeKind::Out);
         let fresh = h.graph(DatasetId::Lj).apply_permutation(&timed.permutation);

@@ -91,6 +91,10 @@ impl Default for SimConfig {
     }
 }
 
+/// Largest simulatable core count: the coherence directory stores
+/// sharer sets as 16-bit masks.
+pub const MAX_CORES: usize = 16;
+
 impl SimConfig {
     /// A single-core configuration (handy for unit tests and
     /// pull-only measurements).
@@ -100,6 +104,31 @@ impl SimConfig {
             sockets: 1,
             ..Default::default()
         }
+    }
+
+    /// Checks every invariant [`MemorySim::new`](crate::MemorySim::new)
+    /// would later assert — core count within `1..=16`, at least one
+    /// socket, cores dividing evenly across sockets — so callers
+    /// building a config from untrusted input (CLI flags, RPC
+    /// payloads) get a reportable error instead of a panic deep in
+    /// simulator construction. [`SimConfig::from_str`] applies this
+    /// automatically.
+    pub fn validate(&self) -> Result<(), SimConfigParseError> {
+        if self.cores < 1 || self.cores > MAX_CORES {
+            return Err(SimConfigParseError {
+                token: format!("cores={}", self.cores),
+                expected: Some(format!(
+                    "1..={MAX_CORES} cores (directory sharer masks are 16-bit)"
+                )),
+            });
+        }
+        if self.sockets < 1 || !self.cores.is_multiple_of(self.sockets) {
+            return Err(SimConfigParseError {
+                token: format!("cores={} with sockets={}", self.cores, self.sockets),
+                expected: Some("cores dividing evenly across at least one socket".to_owned()),
+            });
+        }
+        Ok(())
     }
 
     /// Cores per socket.
@@ -129,6 +158,9 @@ impl SimConfig {
 pub struct SimConfigParseError {
     /// The `key=value` (or bare) token that failed.
     pub token: String,
+    /// What a valid value would look like, when the token named a real
+    /// knob but its value was out of range.
+    pub expected: Option<String>,
 }
 
 /// Knob names accepted by [`SimConfig::from_str`].
@@ -136,12 +168,11 @@ pub const SIM_KNOBS: [&str; 5] = ["cores", "sockets", "l1kb", "l2kb", "llckb"];
 
 impl fmt::Display for SimConfigParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "invalid simulator knob `{}`; valid: {}",
-            self.token,
-            SIM_KNOBS.join(", ")
-        )
+        write!(f, "invalid simulator knob `{}`", self.token)?;
+        if let Some(expected) = &self.expected {
+            write!(f, " (expected {expected})")?;
+        }
+        write!(f, "; valid: {}", SIM_KNOBS.join(", "))
     }
 }
 
@@ -168,6 +199,7 @@ impl FromStr for SimConfig {
         for token in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
             let err = || SimConfigParseError {
                 token: token.to_owned(),
+                expected: None,
             };
             let (key, value) = token.split_once('=').ok_or_else(err)?;
             let n: usize = value.trim().parse().map_err(|_| err())?;
@@ -183,11 +215,10 @@ impl FromStr for SimConfig {
                 _ => return Err(err()),
             }
         }
-        if !cfg.cores.is_multiple_of(cfg.sockets) {
-            return Err(SimConfigParseError {
-                token: format!("cores={} with sockets={}", cfg.cores, cfg.sockets),
-            });
-        }
+        // Every bound `MemorySim::new` asserts is checked here, so a
+        // malformed `--sim` flag is a clean parse error (CLI exit 1),
+        // never a panic inside simulator construction.
+        cfg.validate()?;
         Ok(cfg)
     }
 }
@@ -225,6 +256,29 @@ mod tests {
         assert!(err.to_string().contains("cores=3"), "{err}");
         let err = "l1kb=0".parse::<SimConfig>().unwrap_err();
         assert_eq!(err.token, "l1kb=0");
+    }
+
+    #[test]
+    fn core_bound_is_a_parse_error_not_a_panic() {
+        // Regression: `--sim cores=32` used to parse fine and then
+        // panic in MemorySim::new; the bound now lives in validation.
+        let err = "cores=32,sockets=2".parse::<SimConfig>().unwrap_err();
+        assert_eq!(err.token, "cores=32");
+        assert!(err.to_string().contains("1..=16"), "{err}");
+        // The boundary itself is accepted.
+        assert!("cores=16,sockets=2".parse::<SimConfig>().is_ok());
+        // validate() covers hand-built configs the same way.
+        let cfg = SimConfig {
+            cores: 32,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = SimConfig {
+            sockets: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        assert!(SimConfig::default().validate().is_ok());
     }
 
     #[test]

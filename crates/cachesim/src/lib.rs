@@ -45,7 +45,7 @@ pub mod sim;
 pub mod stats;
 pub mod tracer;
 
-pub use config::{LatencyModel, SimConfig, SimConfigParseError, SIM_KNOBS};
+pub use config::{LatencyModel, SimConfig, SimConfigParseError, MAX_CORES, SIM_KNOBS};
 pub use layout::{AccessPattern, ArrayId, MemoryLayout};
 pub use sim::MemorySim;
 pub use stats::{L2MissBreakdown, LevelStats, SimStats};

@@ -65,8 +65,9 @@ impl MemorySim {
     /// divide evenly across sockets.
     pub fn new(config: SimConfig, layout: MemoryLayout) -> Self {
         assert!(
-            config.cores >= 1 && config.cores <= 16,
-            "1..=16 cores supported"
+            config.cores >= 1 && config.cores <= crate::config::MAX_CORES,
+            "1..={} cores supported",
+            crate::config::MAX_CORES
         );
         let _ = config.cores_per_socket(); // validates divisibility
         let num_blocks = (layout.total_bytes() / BLOCK_BYTES + 2) as usize;
@@ -156,9 +157,8 @@ impl MemorySim {
         }
         self.stats.l1.misses += 1;
         if let Some((evicted, dirty)) = r1.evicted {
-            // L1 victim folds into L2 (inclusive hierarchy: it's there).
             if dirty {
-                self.l2[core].fill_block(evicted, true);
+                self.fold_l1_victim_into_l2(core, evicted);
             }
         }
 
@@ -204,18 +204,20 @@ impl MemorySim {
         self.stats.l2.misses += 1;
         self.stats.l3.accesses += 1;
 
-        // Provider: the dirty owner if any, else the nearest sharer.
+        // Provider: the dirty owner if any (only it holds the current
+        // data, so *its* socket decides the Fig. 9 local/remote
+        // split, even when stale sharer bits linger on the
+        // requester's socket), else the nearest clean sharer.
+        let my_socket = self.config.socket_of(core);
         let provider = if entry.dirty_owner != NO_OWNER && entry.dirty_owner as usize != core {
             entry.dirty_owner as usize
         } else {
             (0..self.config.cores)
-                .find(|&c| others & (1 << c) != 0)
+                .filter(|&c| others & (1 << c) != 0)
+                .min_by_key(|&c| usize::from(self.config.socket_of(c) != my_socket))
                 .expect("others is non-empty")
         };
-        let my_socket = self.config.socket_of(core);
-        let same_socket = (0..self.config.cores)
-            .any(|c| others & (1 << c) != 0 && self.config.socket_of(c) == my_socket);
-        let served = if same_socket || self.config.socket_of(provider) == my_socket {
+        let served = if self.config.socket_of(provider) == my_socket {
             self.stats.l2_breakdown.snoops_local += 1;
             ServePoint::SnoopLocal
         } else {
@@ -226,7 +228,7 @@ impl MemorySim {
         // Install exclusively in this core's caches.
         if let Some((e, d)) = self.l1[core].fill_block(block, true) {
             if d {
-                self.l2[core].fill_block(e, true);
+                self.fold_l1_victim_into_l2(core, e);
             }
         }
         if let Some((e, d)) = self.l2[core].fill_block(block, true) {
@@ -316,6 +318,18 @@ impl MemorySim {
         self.stats.l3.misses += 1;
         self.stats.l2_breakdown.off_chip += 1;
         ServePoint::Memory
+    }
+
+    /// Folds a dirty L1 victim into its private L2. Normally the line
+    /// is already there (inclusion) and the fill just merges
+    /// dirtiness; when inclusion was broken earlier, the fold
+    /// allocates and may displace an L2 victim of its own, which must
+    /// run the full eviction path — dropping it leaves the victim's
+    /// directory sharer bit stale and its dirty data lost.
+    fn fold_l1_victim_into_l2(&mut self, core: usize, block: u64) {
+        if let Some((l2_victim, l2_dirty)) = self.l2[core].fill_block(block, true) {
+            self.evict_from_l2(core, l2_victim, l2_dirty);
+        }
     }
 
     /// Handles an eviction from a private L2: back-invalidate L1
@@ -497,6 +511,94 @@ mod tests {
         let c0 = sim.stats().cycles;
         sim.read(0, a, 0);
         assert!(sim.stats().cycles > c0);
+    }
+
+    #[test]
+    fn rfo_snoop_classification_follows_the_dirty_provider() {
+        // Default config: 8 cores / 2 sockets. Requester core 0
+        // (socket 0), dirty owner core 4 (socket 1), and core 1
+        // (socket 0) carrying a stale sharer bit — the directory
+        // state dropped L2 evictions used to leave behind. The dirty
+        // owner supplies the data, so the ownership transfer is a
+        // *remote* snoop; classifying it local because some sharer
+        // bit is on the requester's socket skews the Fig. 9 split.
+        let (mut sim, a) = sim_with(64);
+        sim.write(4, a, 0);
+        let block = sim.layout.addr(a, 0) / BLOCK_BYTES;
+        let dir_idx = block as usize % sim.directory.len();
+        sim.directory[dir_idx].sharers |= 1 << 1;
+        let before = sim.stats.l2_breakdown;
+        sim.write(0, a, 0);
+        let after = sim.stats.l2_breakdown;
+        assert_eq!(after.snoops_remote - before.snoops_remote, 1, "{after:?}");
+        assert_eq!(
+            after.snoops_local, before.snoops_local,
+            "the provider is remote: {after:?}"
+        );
+    }
+
+    #[test]
+    fn rfo_clean_sharing_is_served_by_the_nearest_sharer() {
+        let (mut sim, a) = sim_with(64);
+        sim.write(4, a, 0); // core 4 (socket 1) owns the block dirty
+        sim.read(1, a, 0); // remote snoop demotes it; {1, 4} share clean
+        let before = sim.stats.l2_breakdown;
+        sim.write(0, a, 0); // upgrade: the socket-0 sharer supplies
+        let after = sim.stats.l2_breakdown;
+        assert_eq!(after.snoops_local - before.snoops_local, 1, "{after:?}");
+        assert_eq!(after.snoops_remote, before.snoops_remote, "{after:?}");
+    }
+
+    #[test]
+    fn folded_l1_victims_run_the_full_l2_eviction_path() {
+        // Tiny single-core hierarchy — L1 = 1 set x 2 ways, L2 =
+        // 1 set x 4 ways — so every victim is deterministic.
+        let mut layout = MemoryLayout::new();
+        let a = layout.register("a", 1024, 8, Irregular);
+        // Blocks are consecutive: 8 elements x 8 bytes per 64B block.
+        let b: Vec<u64> = (0..6)
+            .map(|i| layout.addr(a, i * 8) / BLOCK_BYTES)
+            .collect();
+        let cfg = SimConfig {
+            cores: 1,
+            sockets: 1,
+            l1_bytes: 2 * 64,
+            l1_ways: 2,
+            l2_bytes: 4 * 64,
+            l2_ways: 4,
+            ..Default::default()
+        };
+        let mut sim = MemorySim::new(cfg, layout);
+        let dlen = sim.directory.len();
+        let dir = move |blk: u64| blk as usize % dlen;
+
+        sim.write(0, a, 0); // b0 dirty in L1 and L2
+        sim.read(0, a, 8); // b1 in L1 and L2; L1 now full {b0, b1}
+                           // Break inclusion for b0 the way an invalidate once could:
+                           // L1 keeps its dirty copy, L2 loses the line.
+        sim.l2[0].invalidate_block(b[0]);
+        // Fill L2's single set to capacity with tracked blocks.
+        for (i, &blk) in b[2..5].iter().enumerate() {
+            sim.l2[0].fill_block(blk, i == 0); // b2 dirty, b3/b4 clean
+            sim.directory[dir(blk)].sharers |= 1;
+        }
+        sim.directory[dir(b[2])].dirty_owner = 0;
+        sim.l2[0].access_block(b[1], false); // b1 most-recent => LRU is b2
+
+        // Read b5: L1 evicts dirty b0, whose fold into the (full,
+        // non-inclusive) L2 displaces b2 — an eviction that used to
+        // be dropped on the floor.
+        sim.read(0, a, 40);
+
+        assert!(sim.l2[0].contains_block(b[0]), "fold must land in L2");
+        assert!(!sim.l2[0].contains_block(b[2]), "b2 was the L2 victim");
+        let e = sim.directory[dir(b[2])];
+        assert_eq!(e.sharers, 0, "victim's sharer bit must clear");
+        assert_eq!(e.dirty_owner, NO_OWNER, "victim's ownership must clear");
+        assert!(
+            sim.llc[0].contains_block(b[2]),
+            "the dirty victim must write back to the LLC"
+        );
     }
 
     #[test]

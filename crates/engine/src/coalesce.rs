@@ -1,0 +1,336 @@
+//! Sharded, build-coalescing concurrent caches.
+//!
+//! [`ShardedCache`] is the storage behind every
+//! [`Session`](crate::Session) cache: a fixed set of `RwLock`-guarded hash-map
+//! shards whose values are `Arc`-shared, plus a per-key *in-flight
+//! slot* that coalesces concurrent builds. When N threads ask for the
+//! same missing key at once, exactly one runs the (typically
+//! expensive — a graph build, a reordering, a traced simulation)
+//! builder; the others block on the slot and wake to the shared
+//! result. Builders run with no shard lock held, so a builder may
+//! recursively consult *other* caches (a reorder build fetching its
+//! base graph, say) without lock-ordering concerns.
+//!
+//! Failed builds are not cached: the error returns to the thread that
+//! built, waiters retry, and the slot is reusable — matching the
+//! session contract that a missing dataset file is a clean, retryable
+//! error rather than a poisoned cache entry.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+
+/// Number of independently locked shards. A small power of two keeps
+/// the memory overhead negligible while making same-instant lookups
+/// of distinct keys contention-free in the common case.
+const SHARDS: usize = 16;
+
+/// One key's slot: either empty, being built by exactly one thread,
+/// or holding the shared result.
+enum SlotState<V> {
+    /// No value and nobody building.
+    Empty,
+    /// One thread is running the builder; others wait on the condvar.
+    Building,
+    /// The published result.
+    Ready(Arc<V>),
+}
+
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    /// Signalled when a build publishes or is abandoned.
+    changed: Condvar,
+}
+
+impl<V> Slot<V> {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(SlotState::Empty),
+            changed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SlotState<V>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Resets a slot from `Building` back to `Empty` (waking waiters so
+/// one of them retries) unless the build published — keeps a panicking
+/// builder from wedging every waiter forever.
+struct AbandonGuard<'a, V> {
+    slot: &'a Slot<V>,
+    armed: bool,
+}
+
+impl<V> Drop for AbandonGuard<'_, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            *self.slot.lock() = SlotState::Empty;
+            self.slot.changed.notify_all();
+        }
+    }
+}
+
+/// A concurrent map from `K` to `Arc<V>` with per-key build
+/// coalescing.
+///
+/// # Example
+///
+/// ```
+/// use lgr_engine::coalesce::ShardedCache;
+///
+/// let cache: ShardedCache<String, usize> = ShardedCache::new();
+/// let v = cache.get_or_build(&"answer".to_owned(), || 42);
+/// assert_eq!(*v, 42);
+/// // A second request is a hit: the builder does not run again.
+/// let w = cache.get_or_build(&"answer".to_owned(), || unreachable!());
+/// assert!(std::sync::Arc::ptr_eq(&v, &w));
+/// ```
+pub struct ShardedCache<K, V> {
+    shards: Box<[Shard<K, V>]>,
+}
+
+/// One independently locked map shard.
+type Shard<K, V> = RwLock<HashMap<K, Arc<Slot<V>>>>;
+
+impl<K, V> std::fmt::Debug for ShardedCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl<K, V> Default for ShardedCache<K, V>
+where
+    K: Eq + Hash + Clone,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> ShardedCache<K, V>
+where
+    K: Eq + Hash + Clone,
+{
+    /// An empty cache.
+    pub fn new() -> Self {
+        ShardedCache {
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Shard<K, V> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// The key's slot, inserting an empty one under the shard's write
+    /// lock if needed. Most calls take only the read lock.
+    fn slot(&self, key: &K) -> Arc<Slot<V>> {
+        let shard = self.shard(key);
+        if let Some(s) = shard
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+        {
+            return Arc::clone(s);
+        }
+        Arc::clone(
+            shard
+                .write()
+                .unwrap_or_else(PoisonError::into_inner)
+                .entry(key.clone())
+                .or_insert_with(|| Arc::new(Slot::new())),
+        )
+    }
+
+    /// The cached value, if already published.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let shard = self.shard(key);
+        let guard = shard.read().unwrap_or_else(PoisonError::into_inner);
+        let slot = guard.get(key)?;
+        let value = match &*slot.lock() {
+            SlotState::Ready(v) => Some(Arc::clone(v)),
+            _ => None,
+        };
+        value
+    }
+
+    /// Number of published entries (in-flight builds don't count).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .values()
+                    .filter(|slot| matches!(&*slot.lock(), SlotState::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// `true` if no entry has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value for `key`, running `build` at most once per key no
+    /// matter how many threads ask concurrently: the first caller
+    /// builds (with no lock held beyond the key's in-flight marker),
+    /// the rest block until the result is published and then share it.
+    ///
+    /// `build` must not re-enter the cache under the *same* key (that
+    /// would self-deadlock); consulting other keys or other caches is
+    /// fine.
+    pub fn get_or_build(&self, key: &K, build: impl FnOnce() -> V) -> Arc<V> {
+        match self.get_or_try_build(key, || Ok::<V, std::convert::Infallible>(build())) {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Fallible [`ShardedCache::get_or_build`]: a builder error is
+    /// returned to the building caller and **not** cached — waiting
+    /// threads wake and one of them retries the build.
+    pub fn get_or_try_build<E>(
+        &self,
+        key: &K,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        let slot = self.slot(key);
+        {
+            let mut state = slot.lock();
+            loop {
+                match &*state {
+                    SlotState::Ready(v) => return Ok(Arc::clone(v)),
+                    SlotState::Building => {
+                        state = slot
+                            .changed
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    SlotState::Empty => {
+                        *state = SlotState::Building;
+                        break;
+                    }
+                }
+            }
+        }
+        // This thread owns the build. The guard rolls the slot back to
+        // Empty if the builder panics or errors, so waiters never hang.
+        let mut guard = AbandonGuard {
+            slot: slot.as_ref(),
+            armed: true,
+        };
+        match build() {
+            Ok(v) => {
+                let v = Arc::new(v);
+                *slot.lock() = SlotState::Ready(Arc::clone(&v));
+                guard.armed = false;
+                slot.changed.notify_all();
+                Ok(v)
+            }
+            Err(e) => Err(e), // guard drops: Empty + notify
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn hit_after_build_shares_one_arc() {
+        let cache: ShardedCache<u32, String> = ShardedCache::new();
+        assert!(cache.get(&7).is_none());
+        assert!(cache.is_empty());
+        let a = cache.get_or_build(&7, || "seven".to_owned());
+        let b = cache.get_or_build(&7, || panic!("must not rebuild"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(*cache.get(&7).unwrap(), "seven");
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_to_one_build_per_key() {
+        const THREADS: usize = 8;
+        const KEYS: u32 = 3;
+        let cache: ShardedCache<u32, u32> = ShardedCache::new();
+        let builds = AtomicUsize::new(0);
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let (cache, builds, barrier) = (&cache, &builds, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    for i in 0..32u32 {
+                        // Rotate the key order per thread so lookups
+                        // and builds genuinely interleave.
+                        let key = (i + t as u32) % KEYS;
+                        let v = cache.get_or_build(&key, || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            // Widen the build window so waiters pile up.
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            key * 100
+                        });
+                        assert_eq!(*v, key * 100);
+                    }
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), KEYS as usize);
+        assert_eq!(cache.len(), KEYS as usize);
+    }
+
+    #[test]
+    fn errors_are_not_cached_and_waiters_retry() {
+        let cache: ShardedCache<u8, u8> = ShardedCache::new();
+        let attempts = AtomicUsize::new(0);
+        let r: Result<_, &str> = cache.get_or_try_build(&1, || {
+            attempts.fetch_add(1, Ordering::SeqCst);
+            Err("nope")
+        });
+        assert_eq!(r.unwrap_err(), "nope");
+        assert!(cache.get(&1).is_none());
+        // The slot is reusable after a failure.
+        let v = cache
+            .get_or_try_build::<&str>(&1, || {
+                attempts.fetch_add(1, Ordering::SeqCst);
+                Ok(9)
+            })
+            .unwrap();
+        assert_eq!(*v, 9);
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn a_panicking_builder_does_not_wedge_the_slot() {
+        let cache: ShardedCache<u8, u8> = ShardedCache::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_build(&3, || panic!("builder exploded"));
+        }));
+        assert!(r.is_err());
+        // The slot was rolled back; a later build succeeds.
+        assert_eq!(*cache.get_or_build(&3, || 5), 5);
+    }
+
+    #[test]
+    fn distinct_keys_build_independently() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        for k in 0..100u64 {
+            assert_eq!(*cache.get_or_build(&k, || k * k), k * k);
+        }
+        assert_eq!(cache.len(), 100);
+    }
+}

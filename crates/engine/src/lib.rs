@@ -23,7 +23,12 @@
 //!   reordered-CSR / root caches, runs traced and untraced [`Job`]s,
 //!   emits machine-readable [`Report`]s (JSON lines, no external
 //!   dependencies), and optionally persists every materialized graph
-//!   to an on-disk [`lgr_io::DatasetCache`].
+//!   to an on-disk [`lgr_io::DatasetCache`]. A session is
+//!   `Send + Sync`: share one behind an [`Arc`](std::sync::Arc)
+//!   across threads, and its [`ShardedCache`](coalesce::ShardedCache)s
+//!   coalesce concurrent builds of the same key into a single
+//!   execution (see the [`session`] module docs for the threading
+//!   model).
 //!
 //! # Example
 //!
@@ -47,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod app;
+pub mod coalesce;
 pub mod dataset;
 pub mod registry;
 pub mod report;

@@ -40,6 +40,17 @@ pub struct Report {
 }
 
 impl Report {
+    /// This report with its only wall-clock field (`reorder_ms`)
+    /// cleared. Every other field is deterministic for a given job,
+    /// scale, and simulator geometry, so canonicalized reports can be
+    /// `diff`ed byte-for-byte across runs, processes, and thread
+    /// counts — the form `lgr-serve --canonical` emits and the CI
+    /// concurrent-vs-sequential smoke test compares.
+    pub fn canonicalized(mut self) -> Report {
+        self.reorder_ms = None;
+        self
+    }
+
     /// Serializes to one JSON object on a single line (JSON Lines).
     ///
     /// # Example
@@ -68,17 +79,17 @@ impl Report {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256);
         s.push('{');
-        write_str(&mut s, "app", &self.app);
+        write_json_pair(&mut s, "app", &self.app);
         s.push(',');
-        write_str(&mut s, "app_spec", &self.app_spec);
+        write_json_pair(&mut s, "app_spec", &self.app_spec);
         s.push(',');
-        write_str(&mut s, "dataset", &self.dataset);
+        write_json_pair(&mut s, "dataset", &self.dataset);
         s.push(',');
-        write_str(&mut s, "dataset_spec", &self.dataset_spec);
+        write_json_pair(&mut s, "dataset_spec", &self.dataset_spec);
         s.push(',');
-        write_str(&mut s, "technique", &self.technique);
+        write_json_pair(&mut s, "technique", &self.technique);
         s.push(',');
-        write_str(&mut s, "spec", &self.spec);
+        write_json_pair(&mut s, "spec", &self.spec);
         s.push(',');
         let _ = write!(s, "\"cycles\":{}", self.cycles);
         s.push(',');
@@ -117,7 +128,11 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn write_str(out: &mut String, key: &str, value: &str) {
+/// Appends `"key":"value"` to `out` with JSON string escaping — the
+/// single escaper shared by report serialization and the `lgr-serve`
+/// wire protocol (both sides of which must agree on the escape
+/// table).
+pub fn write_json_pair(out: &mut String, key: &str, value: &str) {
     out.push('"');
     out.push_str(key);
     out.push_str("\":\"");

@@ -15,11 +15,25 @@
 //! graph is persisted as a checksummed `.lgr` file keyed by spec
 //! string + scale; later sessions reload the binary CSR instead of
 //! regenerating and rebuilding it.
+//!
+//! # Threading model
+//!
+//! A `Session` is `Send + Sync`: wrap it in an [`Arc`] and hand
+//! clones to as many threads (or server connections) as you like.
+//! Every cache is a sharded-lock map ([`ShardedCache`]) with per-key
+//! build coalescing — N concurrent requests for the same
+//! (dataset, technique, app) key trigger exactly **one** graph build,
+//! reordering, or traced run; the other N-1 threads block on the
+//! in-flight slot and wake to the shared `Arc`'d result. Reports are
+//! therefore byte-identical whether a job batch runs sequentially or
+//! hammered from many threads (the only wall-clock field,
+//! `reorder_ms`, is measured once per key and then shared). All
+//! threads share the session's single worker [`Pool`]; its broadcasts
+//! serialize internally, so concurrent jobs interleave safely at
+//! data-parallel-section granularity.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lgr_analytics::apps::bc::{bc_with_arrays, BcArrays};
@@ -36,6 +50,7 @@ use lgr_io::DatasetCache;
 use lgr_parallel::Pool;
 
 use crate::app::AppSpec;
+use crate::coalesce::ShardedCache;
 use crate::dataset::{DatasetError, DatasetGraph, DatasetRegistry, DatasetSpec};
 use crate::registry::TechniqueRegistry;
 use crate::report::Report;
@@ -167,30 +182,40 @@ impl Job {
 type ReorderKey = (DatasetSpec, TechniqueSpec, DegreeKind);
 type RunKey = (AppSpec, DatasetSpec, Option<TechniqueSpec>);
 
-/// Caching engine shared by every experiment, CLI invocation, and
-/// library embedding.
+/// Caching engine shared by every experiment, CLI invocation, server
+/// connection, and library embedding. `Send + Sync`: share one
+/// session across threads via [`Arc`]; every cache coalesces
+/// concurrent builds of the same key into a single execution.
 pub struct Session {
     cfg: SessionConfig,
     registry: TechniqueRegistry,
     dataset_registry: DatasetRegistry,
     /// Worker pool shared by every CSR build, permutation apply, file
-    /// parse, and framework reordering the session performs. Sized by
-    /// the `LGR_THREADS` knob (default: available parallelism).
+    /// parse, and framework reordering the session performs — across
+    /// all threads driving the session concurrently. Sized by the
+    /// `LGR_THREADS` knob (default: available parallelism).
     pool: Pool,
-    graphs: RefCell<HashMap<DatasetSpec, Rc<Csr>>>,
-    reorders: RefCell<HashMap<ReorderKey, Rc<TimedReorder>>>,
+    graphs: ShardedCache<DatasetSpec, Csr>,
+    reorders: ShardedCache<ReorderKey, TimedReorder>,
     /// Reordered CSRs, cached under the same canonicalized key as the
     /// permutations that produced them — rebuilding the graph per
     /// `run`/`wall` call was the single biggest repeated cost of the
     /// repro pipeline.
-    reordered: RefCell<HashMap<ReorderKey, Rc<Csr>>>,
+    reordered: ShardedCache<ReorderKey, Csr>,
     /// Per-dataset root candidates (vertices with both edge
     /// directions), so the O(V) scan runs once per dataset rather than
     /// once per prepared run.
-    root_candidates: RefCell<HashMap<DatasetSpec, Rc<Vec<VertexId>>>>,
-    runs: RefCell<HashMap<RunKey, Rc<RunStats>>>,
-    walls: RefCell<HashMap<RunKey, Duration>>,
+    root_candidates: ShardedCache<DatasetSpec, Vec<VertexId>>,
+    runs: ShardedCache<RunKey, RunStats>,
+    walls: ShardedCache<RunKey, Duration>,
 }
+
+// The whole point of the sharded caches: one engine, many threads. A
+// regression that reintroduces a non-Sync cell fails to compile here.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+};
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -213,12 +238,12 @@ impl Session {
             registry,
             dataset_registry: DatasetRegistry::new(),
             pool: Pool::with_default_threads(),
-            graphs: RefCell::new(HashMap::new()),
-            reorders: RefCell::new(HashMap::new()),
-            reordered: RefCell::new(HashMap::new()),
-            root_candidates: RefCell::new(HashMap::new()),
-            runs: RefCell::new(HashMap::new()),
-            walls: RefCell::new(HashMap::new()),
+            graphs: ShardedCache::new(),
+            reorders: ShardedCache::new(),
+            reordered: ShardedCache::new(),
+            root_candidates: ShardedCache::new(),
+            runs: ShardedCache::new(),
+            walls: ShardedCache::new(),
         }
     }
 
@@ -264,23 +289,27 @@ impl Session {
     /// loaded from the dataset cache) on first use. Weights are always
     /// attached (SSSP uses them; other apps ignore them): sources that
     /// carry none get the deterministic per-spec weight stream.
+    /// Concurrent requests coalesce: one thread builds, the rest wait
+    /// and share the result.
     ///
     /// # Errors
     ///
     /// [`DatasetError`] when the spec names a file that is missing or
-    /// malformed, or a custom source whose builder fails.
-    pub fn try_graph(&self, ds: &DatasetSpec) -> Result<Rc<Csr>, DatasetError> {
-        if let Some(g) = self.graphs.borrow().get(ds) {
-            return Ok(Rc::clone(g));
-        }
+    /// malformed, or a custom source whose builder fails. Errors are
+    /// not cached; a later call retries.
+    pub fn try_graph(&self, ds: &DatasetSpec) -> Result<Arc<Csr>, DatasetError> {
+        self.graphs.get_or_try_build(ds, || self.build_graph(ds))
+    }
+
+    /// The uncached graph materialization behind [`Session::try_graph`]
+    /// (runs at most once per spec thanks to the coalescing cache).
+    fn build_graph(&self, ds: &DatasetSpec) -> Result<Csr, DatasetError> {
         let cache = self.cfg.dataset_cache.as_ref().map(DatasetCache::new);
         let key = ds.cache_key(self.cfg.scale);
         if let Some(cache) = &cache {
             if let Some(g) = cache.load(&key) {
                 self.log(&format!("loading dataset {ds} from cache ({key})"));
-                let g = Rc::new(self.ensure_weighted(ds, g));
-                self.graphs.borrow_mut().insert(ds.clone(), Rc::clone(&g));
-                return Ok(g);
+                return Ok(self.ensure_weighted(ds, g));
             }
         }
         self.log(&format!("building dataset {ds}"));
@@ -296,14 +325,12 @@ impl Session {
             }
             DatasetGraph::Graph(csr) => self.ensure_weighted(ds, csr),
         };
-        let g = Rc::new(g);
         if let Some(cache) = &cache {
             match cache.store(&key, &g) {
                 Ok(path) => self.log(&format!("cached dataset {ds} at {}", path.display())),
                 Err(e) => eprintln!("[repro] warning: could not cache dataset {ds}: {e}"),
             }
         }
-        self.graphs.borrow_mut().insert(ds.clone(), Rc::clone(&g));
         Ok(g)
     }
 
@@ -314,7 +341,7 @@ impl Session {
     /// # Panics
     ///
     /// Panics if the dataset fails to materialize.
-    pub fn graph(&self, ds: &DatasetSpec) -> Rc<Csr> {
+    pub fn graph(&self, ds: &DatasetSpec) -> Arc<Csr> {
         self.try_graph(ds)
             .unwrap_or_else(|e| panic!("dataset `{ds}`: {e}"))
     }
@@ -379,22 +406,21 @@ impl Session {
     }
 
     /// The (timed) permutation for `spec` on `ds` using `kind`
-    /// degrees, cached.
+    /// degrees, cached; concurrent requests coalesce into one
+    /// reordering run.
     pub fn dataset_reorder(
         &self,
         ds: &DatasetSpec,
         spec: &TechniqueSpec,
         kind: DegreeKind,
-    ) -> Rc<TimedReorder> {
+    ) -> Arc<TimedReorder> {
         let key = (ds.clone(), spec.clone(), Self::canonical_kind(spec, kind));
-        if let Some(r) = self.reorders.borrow().get(&key) {
-            return Rc::clone(r);
-        }
-        let graph = self.graph(ds);
-        self.log(&format!("reordering {} with {}", ds.label(), spec.label()));
-        let timed = Rc::new(self.reorder_with_kind(&graph, spec, key.2));
-        self.reorders.borrow_mut().insert(key, Rc::clone(&timed));
-        timed
+        let canonical = key.2;
+        self.reorders.get_or_build(&key, || {
+            let graph = self.graph(ds);
+            self.log(&format!("reordering {} with {}", ds.label(), spec.label()));
+            self.reorder_with_kind(&graph, spec, canonical)
+        })
     }
 
     /// The reordered CSR for `spec` on `ds` using `kind` degrees,
@@ -406,35 +432,25 @@ impl Session {
         ds: &DatasetSpec,
         spec: &TechniqueSpec,
         kind: DegreeKind,
-    ) -> Rc<Csr> {
+    ) -> Arc<Csr> {
         let key = (ds.clone(), spec.clone(), Self::canonical_kind(spec, kind));
-        if let Some(g) = self.reordered.borrow().get(&key) {
-            return Rc::clone(g);
-        }
-        let base = self.graph(ds);
-        let timed = self.dataset_reorder(ds, spec, kind);
-        self.log(&format!("rebuilding {} under {}", ds.label(), spec.label()));
-        let g = Rc::new(base.apply_permutation_with(&timed.permutation, &self.pool));
-        self.reordered.borrow_mut().insert(key, Rc::clone(&g));
-        g
+        self.reordered.get_or_build(&key, || {
+            let base = self.graph(ds);
+            let timed = self.dataset_reorder(ds, spec, kind);
+            self.log(&format!("rebuilding {} under {}", ds.label(), spec.label()));
+            base.apply_permutation_with(&timed.permutation, &self.pool)
+        })
     }
 
     /// The dataset's root candidates (vertices with both in- and
     /// out-edges), cached.
-    fn root_candidates(&self, ds: &DatasetSpec) -> Rc<Vec<VertexId>> {
-        if let Some(c) = self.root_candidates.borrow().get(ds) {
-            return Rc::clone(c);
-        }
-        let g = self.graph(ds);
-        let candidates: Rc<Vec<VertexId>> = Rc::new(
+    fn root_candidates(&self, ds: &DatasetSpec) -> Arc<Vec<VertexId>> {
+        self.root_candidates.get_or_build(ds, || {
+            let g = self.graph(ds);
             (0..g.num_vertices() as VertexId)
                 .filter(|&v| g.out_degree(v) > 0 && g.in_degree(v) > 0)
-                .collect(),
-        );
-        self.root_candidates
-            .borrow_mut()
-            .insert(ds.clone(), Rc::clone(&candidates));
-        candidates
+                .collect()
+        })
     }
 
     /// Deterministic roots on the ORIGINAL graph: vertices with both
@@ -460,41 +476,36 @@ impl Session {
 
     /// Traced run of a job, cached. Root-dependent apps aggregate the
     /// configured number of traversals into one simulation, mirroring
-    /// the paper's methodology.
-    pub fn run(&self, job: &Job) -> Rc<RunStats> {
+    /// the paper's methodology. Concurrent requests for the same job
+    /// coalesce into one traced execution.
+    pub fn run(&self, job: &Job) -> Arc<RunStats> {
         let key = (job.app.clone(), job.dataset.clone(), job.technique.clone());
-        if let Some(r) = self.runs.borrow().get(&key) {
-            return Rc::clone(r);
-        }
-        self.log(&format!(
-            "tracing {} on {} / {}",
-            job.app.label(),
-            job.dataset.label(),
-            job.technique
-                .as_ref()
-                .map_or_else(|| "Original".to_owned(), TechniqueSpec::label)
-        ));
-        let base = self.graph(&job.dataset);
-        let (graph, roots) = self.prepared(job, &base);
-        let stats = self.run_traced(&job.app, &graph, &roots);
-        let r = Rc::new(RunStats { stats });
-        self.runs.borrow_mut().insert(key, Rc::clone(&r));
-        r
+        self.runs.get_or_build(&key, || {
+            self.log(&format!(
+                "tracing {} on {} / {}",
+                job.app.label(),
+                job.dataset.label(),
+                job.technique
+                    .as_ref()
+                    .map_or_else(|| "Original".to_owned(), TechniqueSpec::label)
+            ));
+            let base = self.graph(&job.dataset);
+            let (graph, roots) = self.prepared(job, &base);
+            let stats = self.run_traced(&job.app, &graph, &roots);
+            RunStats { stats }
+        })
     }
 
     /// Untraced wall-clock run (same work as [`Session::run`]), cached.
     pub fn wall(&self, job: &Job) -> Duration {
         let key = (job.app.clone(), job.dataset.clone(), job.technique.clone());
-        if let Some(d) = self.walls.borrow().get(&key) {
-            return *d;
-        }
-        let base = self.graph(&job.dataset);
-        let (graph, roots) = self.prepared(job, &base);
-        let start = Instant::now();
-        self.run_untraced(&job.app, &graph, &roots);
-        let elapsed = start.elapsed();
-        self.walls.borrow_mut().insert(key, elapsed);
-        elapsed
+        *self.walls.get_or_build(&key, || {
+            let base = self.graph(&job.dataset);
+            let (graph, roots) = self.prepared(job, &base);
+            let start = Instant::now();
+            self.run_untraced(&job.app, &graph, &roots);
+            start.elapsed()
+        })
     }
 
     /// Runs a job and flattens the outcome (plus its baseline
@@ -535,7 +546,7 @@ impl Session {
 
     /// Builds the (possibly reordered) graph and maps roots through the
     /// permutation.
-    fn prepared(&self, job: &Job, base: &Rc<Csr>) -> (Rc<Csr>, Vec<VertexId>) {
+    fn prepared(&self, job: &Job, base: &Arc<Csr>) -> (Arc<Csr>, Vec<VertexId>) {
         // Radii needs its 64 BFS sources fixed in *logical* vertex
         // terms so every ordering computes the same problem.
         let count = if job.app.id() == AppId::Radii {
@@ -545,7 +556,7 @@ impl Session {
         };
         let roots = self.roots(&job.dataset, count);
         match &job.technique {
-            None => (Rc::clone(base), roots),
+            None => (Arc::clone(base), roots),
             Some(spec) => {
                 let kind = job.app.id().reorder_degree();
                 let timed = self.dataset_reorder(&job.dataset, spec, kind);
@@ -813,10 +824,10 @@ mod tests {
             &TechniqueSpec::rv(),
             DegreeKind::Out,
         );
-        assert!(Rc::ptr_eq(&a, &b), "RV ignores degree kind");
+        assert!(Arc::ptr_eq(&a, &b), "RV ignores degree kind");
         let c = s.dataset_reorder(&lj(), &TechniqueSpec::dbg(), DegreeKind::In);
         let d = s.dataset_reorder(&lj(), &TechniqueSpec::dbg(), DegreeKind::Out);
-        assert!(!Rc::ptr_eq(&c, &d), "DBG is degree-kind sensitive");
+        assert!(!Arc::ptr_eq(&c, &d), "DBG is degree-kind sensitive");
     }
 
     #[test]

@@ -78,9 +78,18 @@ impl DatasetCache {
     /// Stores `csr` under `key`, creating the cache directory if
     /// needed. Returns the entry's path.
     pub fn store(&self, key: &str, csr: &Csr) -> Result<PathBuf, IoError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Unique per process *and* per store call: concurrent threads
+        // of a shared Session may store different keys at once, and a
+        // pid-only suffix would let their temp files collide.
+        static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
         std::fs::create_dir_all(&self.dir)?;
         let path = self.path(key);
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        let tmp = path.with_extension(format!(
+            "tmp{}-{}",
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         save_lgr(&tmp, csr)?;
         std::fs::rename(&tmp, &path)?;
         Ok(path)

@@ -53,6 +53,13 @@ struct Shared {
 /// so `Pool::new(t)` spawns only `t - 1` OS threads and `t == 1` is a
 /// true sequential fallback with no threads and no synchronization.
 ///
+/// A pool is `Send + Sync`: one pool can back many concurrent jobs
+/// (the shared-`Session` serving path hands a single pool to every
+/// connection handler). Broadcasts from different threads serialize
+/// through an internal gate, so concurrent jobs interleave safely at
+/// data-parallel-section granularity rather than oversubscribing the
+/// machine with per-job worker sets.
+///
 /// # Example
 ///
 /// ```
@@ -83,6 +90,13 @@ impl std::fmt::Debug for Pool {
             .finish()
     }
 }
+
+// The serving tier shares one pool across every connection thread; a
+// regression that makes `Pool` thread-local fails to compile here.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Pool>();
+};
 
 impl Pool {
     /// A pool with `threads` total workers (the calling thread counts
@@ -382,5 +396,61 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(Pool::default_threads() >= 1);
+    }
+
+    #[test]
+    fn concurrent_broadcasts_from_many_threads_serialize_correctly() {
+        // The shared-session serving path: several job threads drive
+        // one pool at once. Every broadcast must still run exactly
+        // once per worker, with no interleaved epoch bookkeeping.
+        for pool_threads in [1usize, 3] {
+            let pool = Pool::new(pool_threads);
+            let total = AtomicUsize::new(0);
+            const CALLERS: usize = 4;
+            const ROUNDS: usize = 50;
+            std::thread::scope(|scope| {
+                for _ in 0..CALLERS {
+                    let (pool, total) = (&pool, &total);
+                    scope.spawn(move || {
+                        for _ in 0..ROUNDS {
+                            pool.broadcast(|_| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(
+                total.into_inner(),
+                CALLERS * ROUNDS * pool_threads,
+                "{pool_threads} pool threads"
+            );
+        }
+    }
+
+    #[test]
+    fn a_panic_under_contention_does_not_poison_other_callers() {
+        let pool = Pool::new(2);
+        std::thread::scope(|scope| {
+            let ok = scope.spawn(|| {
+                for _ in 0..100 {
+                    pool.broadcast(|_| {});
+                }
+            });
+            let panicky = scope.spawn(|| {
+                for _ in 0..10 {
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        pool.broadcast(|w| {
+                            if w == 1 {
+                                panic!("boom");
+                            }
+                        });
+                    }));
+                    assert!(r.is_err());
+                }
+            });
+            ok.join().expect("clean caller must stay clean");
+            panicky.join().expect("panics were caught");
+        });
     }
 }

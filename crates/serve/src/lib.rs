@@ -1,0 +1,39 @@
+//! `lgr-serve`: a JSON-lines job service over one shared
+//! [`Session`](lgr_engine::Session).
+//!
+//! This crate is the serving tier the thread-safe engine enables —
+//! `std::net` only, no external dependencies:
+//!
+//! * [`protocol`] — the line protocol: a request like
+//!   `{"technique":"dbg","app":"pr:iters=4","dataset":"kr:sd=14"}`
+//!   answered by one [`Report`](lgr_engine::Report) JSON line (or
+//!   `{"error":"..."}`).
+//! * [`service`] — [`serve`]: a fixed pool of connection workers
+//!   sharing one `Arc<Session>` (one worker pool, one set of
+//!   build-coalescing caches); [`run_batch`]: a client driving M
+//!   concurrent jobs and returning responses in input order;
+//!   [`run_local`]: the sequential in-process reference the
+//!   concurrent output is byte-compared against.
+//!
+//! The `lgr-serve` binary fronts all three:
+//!
+//! ```text
+//! lgr-serve serve  --addr 127.0.0.1:7411 --workers 4 --quick
+//! lgr-serve client --addr 127.0.0.1:7411 --jobs jobs.jsonl --concurrency 8 --canonical
+//! lgr-serve local  --jobs jobs.jsonl --quick --canonical
+//! ```
+//!
+//! Because every cache in the shared session coalesces concurrent
+//! builds, a batch of duplicate jobs costs one build no matter how
+//! many connections ask, and `client` output diffs byte-for-byte
+//! against `local` output under `--canonical` (the only
+//! non-deterministic report field is the measured reordering time).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod protocol;
+pub mod service;
+
+pub use protocol::{error_line, handle_line, JobRequest, RequestPolicy, REQUEST_KEYS};
+pub use service::{run_batch, run_local, serve, ServeOptions, MAX_APP_KNOB, MAX_REQUEST_BYTES};

@@ -97,6 +97,59 @@
 //! [`TechniqueRegistry`](engine::TechniqueRegistry) become
 //! string-addressable like the built-ins.
 //!
+//! # Serving
+//!
+//! A [`Session`](engine::Session) is `Send + Sync`: share one behind
+//! an `Arc` and drive it from many threads. Its caches coalesce
+//! concurrent builds per key — N simultaneous requests for the same
+//! (dataset, technique, app) trigger exactly one graph build,
+//! reordering, and traced run, and everyone shares the result — so a
+//! concurrent batch produces reports byte-identical to a sequential
+//! one. All threads share the session's single worker pool.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use graph_reorder::prelude::*;
+//!
+//! let cfg = SessionConfig::quick().with_scale_exp(10);
+//! let session = Arc::new(Session::new(cfg));
+//! let job = Job::new("pr".parse().unwrap(), "lj".parse::<DatasetSpec>().unwrap())
+//!     .with_technique("dbg".parse().unwrap());
+//!
+//! let reports: Vec<String> = std::thread::scope(|scope| {
+//!     (0..4)
+//!         .map(|_| {
+//!             let (session, job) = (Arc::clone(&session), job.clone());
+//!             scope.spawn(move || session.report(&job).to_json())
+//!         })
+//!         .collect::<Vec<_>>()
+//!         .into_iter()
+//!         .map(|h| h.join().unwrap())
+//!         .collect()
+//! });
+//! // One build served all four threads; the bytes agree exactly.
+//! assert!(reports.iter().all(|r| r == &reports[0]));
+//! ```
+//!
+//! The `lgr-serve` binary (crate `lgr-serve`) fronts a shared session
+//! with a JSON-lines TCP service — `std::net` only. One request per
+//! line; the response is the job's [`Report`](engine::Report) (or
+//! `{"error":"..."}`):
+//!
+//! ```text
+//! $ lgr-serve serve --quick --addr 127.0.0.1:7411 --workers 4
+//! lgr-serve listening on 127.0.0.1:7411 (4 connection workers, 8 pool threads)
+//!
+//! → {"technique":"dbg","app":"pr:iters=4","dataset":"kr:sd=14"}
+//! ← {"app":"PR","app_spec":"pr:iters=4","dataset":"kr:sd=14",...,"speedup":1.27}
+//! ```
+//!
+//! `lgr-serve client --jobs jobs.jsonl --concurrency 8 --canonical`
+//! drives a concurrent batch and prints responses in input order;
+//! `lgr-serve local` runs the same jobs sequentially in-process.
+//! Under `--canonical` (which clears the single wall-clock report
+//! field) the two outputs diff byte-for-byte.
+//!
 //! # Migrating from `TechniqueId`
 //!
 //! The closed `TechniqueId` enum (and the `Harness` in `lgr-bench`)
