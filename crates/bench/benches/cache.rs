@@ -1,0 +1,196 @@
+//! Criterion benchmarks for the engine's coalescing cache under
+//! concurrency — the measurements behind two constants in
+//! `lgr_engine::coalesce`:
+//!
+//! * the shard sweep (1/4/16/64 shards, unbounded, skewed keys,
+//!   8 threads) locates the throughput plateau that justifies
+//!   `DEFAULT_SHARDS`;
+//! * the policy sweep (LRU vs cost-aware under a budget that holds a
+//!   fraction of the working set, with a periodically re-touched set
+//!   of expensive-to-build keys) justifies the cost-aware default.
+//!
+//! Everything is deterministic: keys come from a fixed-seed LCG with
+//! a product skew, build cost is a fixed busy-work loop.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lgr_engine::coalesce::{CacheConfig, EvictionPolicy, ShardedCache};
+
+const THREADS: usize = 8;
+
+/// Splitmix-style step; high bits are the usable ones.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A draw in `0..n` skewed toward 0 (product of two uniforms), so a
+/// few keys are hot and the tail is long — the shape a server's
+/// duplicate-heavy job stream has.
+fn skewed(state: &mut u64, n: u64) -> u64 {
+    (lcg(state) % n) * (lcg(state) % n) / n
+}
+
+/// Deterministic stand-in for a graph build: `work` rounds of
+/// integer mixing, then a value whose weight the cache accounts.
+fn build_value(key: u64, work: u64, bytes: usize) -> Vec<u8> {
+    let mut acc = key.wrapping_mul(0x9E3779B97F4A7C15);
+    for i in 0..work {
+        acc = acc
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .rotate_left((i % 63) as u32);
+    }
+    let mut v = vec![0u8; bytes];
+    v[0] = acc as u8;
+    v
+}
+
+/// Shard sweep: hit-dominated skewed traffic, where throughput is
+/// bounded by lock contention, not build cost.
+fn bench_shards(c: &mut Criterion) {
+    const OPS: usize = 20_000;
+    const KEYS: u64 = 64;
+    let mut group = c.benchmark_group("cache_shards");
+    group.throughput(Throughput::Elements((THREADS * OPS) as u64));
+    group.sample_size(10);
+    for shards in [1usize, 4, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("skewed_hits_8threads", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let cache: Arc<ShardedCache<u64, Vec<u8>>> = Arc::new(
+                        ShardedCache::with_config(CacheConfig::unbounded().with_shards(shards)),
+                    );
+                    std::thread::scope(|scope| {
+                        for t in 0..THREADS {
+                            let cache = Arc::clone(&cache);
+                            scope.spawn(move || {
+                                let mut rng = 0x1234_5678_u64 ^ (t as u64) << 32;
+                                let mut sink = 0u64;
+                                for _ in 0..OPS {
+                                    let key = skewed(&mut rng, KEYS);
+                                    let v =
+                                        cache.get_or_build(&key, || build_value(key, 100, 1024));
+                                    sink = sink.wrapping_add(v[0] as u64);
+                                }
+                                std::hint::black_box(sink);
+                            });
+                        }
+                    });
+                    cache.stats().hits
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // The write path: every op inserts a distinct key, so threads
+    // contend on the shard *write* lock (insert + publish) instead of
+    // the per-slot hit path. This is where the shard count earns its
+    // keep.
+    const CHURN_OPS: usize = 4_000;
+    let mut group = c.benchmark_group("cache_shards_churn");
+    group.throughput(Throughput::Elements((THREADS * CHURN_OPS) as u64));
+    group.sample_size(10);
+    for shards in [1usize, 4, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("distinct_inserts_8threads", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let cache: Arc<ShardedCache<u64, Vec<u8>>> = Arc::new(
+                        ShardedCache::with_config(CacheConfig::unbounded().with_shards(shards)),
+                    );
+                    std::thread::scope(|scope| {
+                        for t in 0..THREADS {
+                            let cache = Arc::clone(&cache);
+                            scope.spawn(move || {
+                                let mut sink = 0u64;
+                                for op in 0..CHURN_OPS {
+                                    let key = (t * CHURN_OPS + op) as u64;
+                                    let v = cache.get_or_build(&key, || build_value(key, 0, 64));
+                                    sink = sink.wrapping_add(v[0] as u64);
+                                }
+                                std::hint::black_box(sink);
+                            });
+                        }
+                    });
+                    cache.stats().misses
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Policy sweep under a budget: mostly-skewed cheap keys plus a
+/// periodically re-touched set of expensive keys that does not fit
+/// LRU's recency horizon. Cost-aware keeps the expensive entries
+/// (high rebuild-cost per resident byte) and should win; LRU churns
+/// them out between touches and pays the rebuilds.
+fn bench_policies(c: &mut Criterion) {
+    const OPS: usize = 1_000;
+    const CHEAP_KEYS: u64 = 192;
+    const EXPENSIVE_KEYS: u64 = 32;
+    const VALUE_BYTES: usize = 16 * 1024;
+    // Holds ~64 of the 224 distinct values.
+    const BUDGET: u64 = 1 << 20;
+    const CHEAP_WORK: u64 = 1_000;
+    const EXPENSIVE_WORK: u64 = 300_000;
+
+    let mut group = c.benchmark_group("cache_policies");
+    group.throughput(Throughput::Elements((THREADS * OPS) as u64));
+    group.sample_size(10);
+    for (name, policy) in [
+        ("lru", EvictionPolicy::Lru),
+        ("cost_aware", EvictionPolicy::CostAware),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("budgeted_8threads", name),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let cache: Arc<ShardedCache<u64, Vec<u8>>> =
+                        Arc::new(ShardedCache::with_config(
+                            CacheConfig::budgeted(BUDGET).with_policy(policy),
+                        ));
+                    std::thread::scope(|scope| {
+                        for t in 0..THREADS {
+                            let cache = Arc::clone(&cache);
+                            scope.spawn(move || {
+                                let mut rng = 0x9e37_79b9_u64 ^ (t as u64) << 32;
+                                let mut sink = 0u64;
+                                for op in 0..OPS {
+                                    // Every 16th op revisits the
+                                    // expensive set round-robin; the
+                                    // rest draw skewed cheap keys.
+                                    let (key, work) = if op % 16 == 15 {
+                                        (
+                                            CHEAP_KEYS + (op as u64 / 16) % EXPENSIVE_KEYS,
+                                            EXPENSIVE_WORK,
+                                        )
+                                    } else {
+                                        (skewed(&mut rng, CHEAP_KEYS), CHEAP_WORK)
+                                    };
+                                    let v = cache
+                                        .get_or_build(&key, || build_value(key, work, VALUE_BYTES));
+                                    sink = sink.wrapping_add(v[0] as u64);
+                                }
+                                std::hint::black_box(sink);
+                            });
+                        }
+                    });
+                    cache.stats().evictions
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shards, bench_policies);
+criterion_main!(benches);

@@ -17,6 +17,10 @@
 //!                        (sd,kr:sd=15,file:/g.el,lgr:/g.lgr,...)
 //!   --dataset-cache <dir> persist/reload built graphs as binary CSRs
 //!   --sim <knobs>        simulator geometry (cores=8,sockets=2,...)
+//!   --cache-bytes <n>    per-cache resident budget (k/m/g suffixes);
+//!                        omit for unbounded in-memory caches
+//!   --cache-stats        print per-cache hit/miss/eviction/resident
+//!                        counters to stderr after the run
 //!   --list               print every experiment/technique/app/dataset
 //!                        name and spec grammar, then exit
 //!   --verbose            progress logging to stderr
@@ -53,6 +57,8 @@ fn main() -> ExitCode {
     let mut datasets: Option<Vec<DatasetSpec>> = None;
     let mut dataset_cache: Option<std::path::PathBuf> = None;
     let mut sim: Option<SimConfig> = None;
+    let mut cache_bytes: Option<u64> = None;
+    let mut cache_stats = false;
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -98,6 +104,11 @@ fn main() -> ExitCode {
                 Some(Err(e)) => return usage(&e.to_string()),
                 None => return usage("--sim needs a knob list (cores=8,sockets=2,...)"),
             },
+            "--cache-bytes" => match iter.next().as_deref().map(parse_bytes) {
+                Some(Ok(n)) if n >= 1 => cache_bytes = Some(n),
+                _ => return usage("--cache-bytes needs a positive size (e.g. 16m, 4096k, 1g)"),
+            },
+            "--cache-stats" => cache_stats = true,
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => return usage(&format!("unknown option {other}")),
             other => names.push(other.to_owned()),
@@ -121,6 +132,7 @@ fn main() -> ExitCode {
     if let Some(s) = sim {
         cfg.sim = s;
     }
+    cfg.cache_bytes = cache_bytes;
     cfg.verbose = verbose;
     cfg.techniques = techniques;
     cfg.apps = apps;
@@ -180,7 +192,29 @@ fn main() -> ExitCode {
             start.elapsed().as_secs_f64()
         );
     }
+    if cache_stats {
+        // Stderr, like the progress lines: stdout stays the
+        // experiment tables and nothing else.
+        eprint!("{}", session.cache_stats());
+    }
     ExitCode::SUCCESS
+}
+
+/// Parses a byte size with an optional binary suffix: `4096`,
+/// `4096k`, `16m`, `1g` (case-insensitive).
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last().map(|c| c.to_ascii_lowercase()) {
+        Some('k') => (&s[..s.len() - 1], 1u64 << 10),
+        Some('m') => (&s[..s.len() - 1], 1 << 20),
+        Some('g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+        .ok_or_else(|| format!("not a byte size: `{s}`"))
 }
 
 /// `--list`: every name and spec grammar in one place (they otherwise
@@ -240,7 +274,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--quick] [--scale <exp>] [--roots <n>] [--techniques <list>] [--apps <list>] [--datasets <list>] [--dataset-cache <dir>] [--sim <knobs>] [--list] [--verbose] <experiment>... | all | list"
+        "usage: repro [--quick] [--scale <exp>] [--roots <n>] [--techniques <list>] [--apps <list>] [--datasets <list>] [--dataset-cache <dir>] [--sim <knobs>] [--cache-bytes <n[k|m|g]>] [--cache-stats] [--list] [--verbose] <experiment>... | all | list"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

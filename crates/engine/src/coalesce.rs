@@ -1,4 +1,4 @@
-//! Sharded, build-coalescing concurrent caches.
+//! Sharded, build-coalescing concurrent caches with byte budgets.
 //!
 //! [`ShardedCache`] is the storage behind every
 //! [`Session`](crate::Session) cache: a fixed set of `RwLock`-guarded hash-map
@@ -12,19 +12,172 @@
 //! base graph, say) without lock-ordering concerns.
 //!
 //! Failed builds are not cached: the error returns to the thread that
-//! built, waiters retry, and the slot is reusable — matching the
-//! session contract that a missing dataset file is a clean, retryable
-//! error rather than a poisoned cache entry.
+//! built, waiters retry, and — when nobody is waiting — the abandoned
+//! slot is removed from its shard map entirely, so a client iterating
+//! erroring keys (`file:` specs for missing paths, say) cannot grow
+//! the map without bound.
+//!
+//! # Memory governance
+//!
+//! A cache built with [`CacheConfig::budget_bytes`] set charges every
+//! published value against the budget using its
+//! [`CacheWeight`] and evicts published
+//! entries when the total exceeds it, under a pluggable
+//! [`EvictionPolicy`]. Eviction composes with coalescing:
+//!
+//! * an in-flight `Building` slot is **never** evictable (only
+//!   published values are candidates);
+//! * eviction takes shard and slot locks only — a running builder
+//!   holds neither, so eviction never blocks on (or deadlocks with) a
+//!   build;
+//! * evicting removes the shard-map entry but leaves the detached
+//!   slot's value readable, so a thread that resolved the slot just
+//!   before the eviction still completes with the shared `Arc`;
+//! * a value larger than the whole budget still builds and is served
+//!   to its requesters — it just doesn't stay resident.
+//!
+//! Hit/miss/eviction/resident-bytes counters are exposed as a
+//! [`CacheStats`] snapshot via [`ShardedCache::stats`].
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::{Duration, Instant};
 
-/// Number of independently locked shards. A small power of two keeps
-/// the memory overhead negligible while making same-instant lookups
-/// of distinct keys contention-free in the common case.
-const SHARDS: usize = 16;
+use crate::weight::CacheWeight;
+
+/// Default number of independently locked shards. A small power of
+/// two keeps the memory overhead negligible while making same-instant
+/// lookups and inserts of distinct keys contention-free in the common
+/// case. The `cache` benchmark in `lgr-bench` measures 1/4/16/64
+/// shards at 8 threads under both a skewed hit-dominated mix and a
+/// distinct-key insert churn: on the single-core CI runner every
+/// count is throughput-equivalent within noise (hits serialize on the
+/// per-key slot lock, not the shard lock), so 16 is kept as the
+/// zero-measured-cost choice that bounds writer contention on
+/// multi-core hosts, and 64 showed no benefit that would justify the
+/// extra lock tables.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// How a budgeted cache picks eviction victims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used published entry.
+    Lru,
+    /// Evict the entry with the lowest *rebuild cost per resident
+    /// byte* (measured build time / weight), breaking ties by
+    /// recency. A reordered CSR that took 2 ms to relabel is evicted
+    /// long before a Gorder permutation that took 30 s, even when the
+    /// permutation is smaller — the byte freed is the same, the cost
+    /// to re-create it is not. This is the default: in the `cache`
+    /// benchmark's budgeted scan-resistant workload (hot cheap keys
+    /// churning past a periodically re-touched expensive set) it
+    /// sustains 3.2–3.8x LRU's op throughput by keeping the
+    /// expensive entries resident, and rebuild costs in graph
+    /// workloads *are* that skewed — see the paper's amortization
+    /// argument for reordering cost vs reuse.
+    #[default]
+    CostAware,
+}
+
+impl std::str::FromStr for EvictionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lru" => Ok(EvictionPolicy::Lru),
+            "cost" | "cost-aware" | "costaware" => Ok(EvictionPolicy::CostAware),
+            other => Err(format!(
+                "unknown eviction policy `{other}` (valid: lru, cost)"
+            )),
+        }
+    }
+}
+
+/// Construction-time knobs for a [`ShardedCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Byte budget for published values; `None` = unbounded (the
+    /// historical behavior).
+    pub budget_bytes: Option<u64>,
+    /// Replacement policy used when the budget is exceeded.
+    pub policy: EvictionPolicy,
+    /// Shard count (clamped to at least 1).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            budget_bytes: None,
+            policy: EvictionPolicy::default(),
+            shards: DEFAULT_SHARDS,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// An unbounded configuration (no budget, default shards).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// A budgeted configuration with the default policy and shards.
+    pub fn budgeted(bytes: u64) -> Self {
+        CacheConfig {
+            budget_bytes: Some(bytes),
+            ..Self::default()
+        }
+    }
+
+    /// This configuration with the given policy.
+    pub fn with_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// This configuration with the given shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+}
+
+/// A point-in-time snapshot of one cache's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from a published value.
+    pub hits: u64,
+    /// Requests that ran (or joined) a build.
+    pub misses: u64,
+    /// Published entries removed by budget pressure.
+    pub evictions: u64,
+    /// Bytes currently charged against the budget (published,
+    /// in-map values only).
+    pub resident_bytes: u64,
+    /// Published entries currently resident.
+    pub entries: usize,
+    /// The configured budget, if any.
+    pub budget_bytes: Option<u64>,
+}
+
+impl CacheStats {
+    /// Accumulates another cache's counters into this one (budget
+    /// fields sum when both are set).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.resident_bytes += other.resident_bytes;
+        self.entries += other.entries;
+        self.budget_bytes = match (self.budget_bytes, other.budget_bytes) {
+            (Some(a), Some(b)) => Some(a + b),
+            (a, b) => a.or(b),
+        };
+    }
+}
 
 /// One key's slot: either empty, being built by exactly one thread,
 /// or holding the shared result.
@@ -33,14 +186,27 @@ enum SlotState<V> {
     Empty,
     /// One thread is running the builder; others wait on the condvar.
     Building,
-    /// The published result.
-    Ready(Arc<V>),
+    /// The published result plus its byte weight and measured build
+    /// cost (the cost-aware policy's inputs).
+    Ready {
+        value: Arc<V>,
+        bytes: u64,
+        cost: Duration,
+    },
 }
 
 struct Slot<V> {
     state: Mutex<SlotState<V>>,
     /// Signalled when a build publishes or is abandoned.
     changed: Condvar,
+    /// Threads currently blocked waiting for this slot's build. A
+    /// failed build only removes the slot from its shard map when
+    /// this is zero — a counted waiter is about to retry on this very
+    /// slot and must still find it addressable.
+    waiters: AtomicUsize,
+    /// Logical timestamp of the last hit or publish, from the cache's
+    /// shared clock (the LRU ordering).
+    last_used: AtomicU64,
 }
 
 impl<V> Slot<V> {
@@ -48,6 +214,8 @@ impl<V> Slot<V> {
         Slot {
             state: Mutex::new(SlotState::Empty),
             changed: Condvar::new(),
+            waiters: AtomicUsize::new(0),
+            last_used: AtomicU64::new(0),
         }
     }
 
@@ -56,25 +224,8 @@ impl<V> Slot<V> {
     }
 }
 
-/// Resets a slot from `Building` back to `Empty` (waking waiters so
-/// one of them retries) unless the build published — keeps a panicking
-/// builder from wedging every waiter forever.
-struct AbandonGuard<'a, V> {
-    slot: &'a Slot<V>,
-    armed: bool,
-}
-
-impl<V> Drop for AbandonGuard<'_, V> {
-    fn drop(&mut self) {
-        if self.armed {
-            *self.slot.lock() = SlotState::Empty;
-            self.slot.changed.notify_all();
-        }
-    }
-}
-
 /// A concurrent map from `K` to `Arc<V>` with per-key build
-/// coalescing.
+/// coalescing and an optional byte budget.
 ///
 /// # Example
 ///
@@ -87,9 +238,19 @@ impl<V> Drop for AbandonGuard<'_, V> {
 /// // A second request is a hit: the builder does not run again.
 /// let w = cache.get_or_build(&"answer".to_owned(), || unreachable!());
 /// assert!(std::sync::Arc::ptr_eq(&v, &w));
+/// assert_eq!(cache.stats().hits, 1);
 /// ```
 pub struct ShardedCache<K, V> {
     shards: Box<[Shard<K, V>]>,
+    cfg: CacheConfig,
+    /// Monotone logical clock stamped onto slots on hit/publish.
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Bytes of published values currently reachable through the
+    /// shard maps (detached slots are not counted).
+    resident: AtomicU64,
 }
 
 /// One independently locked map shard.
@@ -99,6 +260,7 @@ impl<K, V> std::fmt::Debug for ShardedCache<K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedCache")
             .field("shards", &self.shards.len())
+            .field("cfg", &self.cfg)
             .finish()
     }
 }
@@ -112,24 +274,65 @@ where
     }
 }
 
+/// Lock-ordering contract (deadlock freedom): a thread holding a
+/// *slot* mutex never acquires a *shard* lock. Shard → slot is the
+/// only permitted nesting, and builders run holding neither.
 impl<K, V> ShardedCache<K, V>
 where
     K: Eq + Hash + Clone,
 {
-    /// An empty cache.
+    /// An unbounded cache with the default shard count.
     pub fn new() -> Self {
+        Self::with_config(CacheConfig::default())
+    }
+
+    /// A cache with explicit budget/policy/shard configuration.
+    pub fn with_config(cfg: CacheConfig) -> Self {
+        let shards = cfg.shards.max(1);
         ShardedCache {
-            shards: (0..SHARDS)
+            shards: (0..shards)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
+            cfg,
+            clock: AtomicU64::new(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &K) -> &Shard<K, V> {
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// A snapshot of the cache's counters. `entries` and
+    /// `resident_bytes` are instantaneous; the rest are cumulative.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self.resident.load(Ordering::Relaxed),
+            entries: self.len(),
+            budget_bytes: self.cfg.budget_bytes,
+        }
+    }
+
+    fn shard_index(&self, key: &K) -> usize {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn shard(&self, key: &K) -> &Shard<K, V> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// The key's slot, inserting an empty one under the shard's write
@@ -152,13 +355,18 @@ where
         )
     }
 
-    /// The cached value, if already published.
+    /// The cached value, if already published. Refreshes the entry's
+    /// recency but moves no hit/miss counter (peeks are not
+    /// requests).
     pub fn get(&self, key: &K) -> Option<Arc<V>> {
         let shard = self.shard(key);
         let guard = shard.read().unwrap_or_else(PoisonError::into_inner);
         let slot = guard.get(key)?;
         let value = match &*slot.lock() {
-            SlotState::Ready(v) => Some(Arc::clone(v)),
+            SlotState::Ready { value, .. } => {
+                slot.last_used.store(self.tick(), Ordering::Relaxed);
+                Some(Arc::clone(value))
+            }
             _ => None,
         };
         value
@@ -172,7 +380,7 @@ where
                 s.read()
                     .unwrap_or_else(PoisonError::into_inner)
                     .values()
-                    .filter(|slot| matches!(&*slot.lock(), SlotState::Ready(_)))
+                    .filter(|slot| matches!(&*slot.lock(), SlotState::Ready { .. }))
                     .count()
             })
             .sum()
@@ -183,6 +391,17 @@ where
         self.len() == 0
     }
 
+    /// Total slot-map entries, *including* empty and in-flight slots —
+    /// the leak-detection companion to [`ShardedCache::len`]: after a
+    /// failed build with no waiters the abandoned slot must not remain
+    /// here.
+    pub fn tracked_slots(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
     /// The value for `key`, running `build` at most once per key no
     /// matter how many threads ask concurrently: the first caller
     /// builds (with no lock held beyond the key's in-flight marker),
@@ -191,7 +410,10 @@ where
     /// `build` must not re-enter the cache under the *same* key (that
     /// would self-deadlock); consulting other keys or other caches is
     /// fine.
-    pub fn get_or_build(&self, key: &K, build: impl FnOnce() -> V) -> Arc<V> {
+    pub fn get_or_build(&self, key: &K, build: impl FnOnce() -> V) -> Arc<V>
+    where
+        V: CacheWeight,
+    {
         match self.get_or_try_build(key, || Ok::<V, std::convert::Infallible>(build())) {
             Ok(v) => v,
             Err(e) => match e {},
@@ -200,23 +422,36 @@ where
 
     /// Fallible [`ShardedCache::get_or_build`]: a builder error is
     /// returned to the building caller and **not** cached — waiting
-    /// threads wake and one of them retries the build.
+    /// threads wake and one of them retries the build, and a slot
+    /// abandoned with no waiters is removed from its shard map.
     pub fn get_or_try_build<E>(
         &self,
         key: &K,
         build: impl FnOnce() -> Result<V, E>,
-    ) -> Result<Arc<V>, E> {
+    ) -> Result<Arc<V>, E>
+    where
+        V: CacheWeight,
+    {
         let slot = self.slot(key);
         {
             let mut state = slot.lock();
             loop {
                 match &*state {
-                    SlotState::Ready(v) => return Ok(Arc::clone(v)),
+                    SlotState::Ready { value, .. } => {
+                        slot.last_used.store(self.tick(), Ordering::Relaxed);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Arc::clone(value));
+                    }
                     SlotState::Building => {
+                        // Counted waiters keep a failing build from
+                        // dropping the map entry out from under their
+                        // retry (see AbandonGuard).
+                        slot.waiters.fetch_add(1, Ordering::SeqCst);
                         state = slot
                             .changed
                             .wait(state)
                             .unwrap_or_else(PoisonError::into_inner);
+                        slot.waiters.fetch_sub(1, Ordering::SeqCst);
                     }
                     SlotState::Empty => {
                         *state = SlotState::Building;
@@ -225,21 +460,175 @@ where
                 }
             }
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         // This thread owns the build. The guard rolls the slot back to
-        // Empty if the builder panics or errors, so waiters never hang.
+        // Empty if the builder panics or errors, so waiters never
+        // hang — and removes the waiterless abandoned slot from the
+        // map, so erroring keys don't accumulate.
         let mut guard = AbandonGuard {
-            slot: slot.as_ref(),
+            cache: self,
+            key,
+            slot: &slot,
             armed: true,
         };
+        let start = Instant::now();
         match build() {
             Ok(v) => {
+                let cost = start.elapsed();
                 let v = Arc::new(v);
-                *slot.lock() = SlotState::Ready(Arc::clone(&v));
+                let bytes = v.weight_bytes() as u64;
                 guard.armed = false;
-                slot.changed.notify_all();
+                self.publish(key, &slot, Arc::clone(&v), bytes, cost);
+                self.enforce_budget();
                 Ok(v)
             }
-            Err(e) => Err(e), // guard drops: Empty + notify
+            Err(e) => Err(e), // guard drops: Empty + notify (+ removal)
+        }
+    }
+
+    /// Publishes a built value into its slot and charges the budget.
+    ///
+    /// The common case is trivial: the slot is still this key's map
+    /// entry, so flip it to `Ready` and account the bytes. The rare
+    /// case is a slot that was *detached* while we built (its map
+    /// entry removed by an abandoned-build cleanup racing a waiter —
+    /// eviction never detaches `Building` slots): the value is still
+    /// published so waiters on the detached slot wake and share it,
+    /// and if the key has no map entry at all the slot is re-linked;
+    /// but if another (newer) slot owns the map entry, ours stays
+    /// detached and unaccounted — the newer build owns the residency.
+    fn publish(&self, key: &K, slot: &Arc<Slot<V>>, value: Arc<V>, bytes: u64, cost: Duration) {
+        let shard = self.shard(key);
+        let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+        let accounted = match map.get(key) {
+            Some(s) if Arc::ptr_eq(s, slot) => true,
+            Some(_) => false,
+            None => {
+                map.insert(key.clone(), Arc::clone(slot));
+                true
+            }
+        };
+        slot.last_used.store(self.tick(), Ordering::Relaxed);
+        *slot.lock() = SlotState::Ready {
+            value,
+            bytes: if accounted { bytes } else { 0 },
+            cost,
+        };
+        slot.changed.notify_all();
+        if accounted {
+            // Charge while still holding the shard write lock: an
+            // evictor needs that lock to remove this entry, so it
+            // cannot subtract the bytes before they were added (which
+            // would transiently underflow the unsigned counter).
+            self.resident.fetch_add(bytes, Ordering::SeqCst);
+        }
+        drop(map);
+    }
+
+    /// Evicts published entries until resident bytes fit the budget
+    /// (no-op for unbounded caches). Victims are chosen by the
+    /// configured policy over *published, in-map* entries only; a
+    /// `Building` slot is never a candidate, and since builders hold
+    /// no lock while building, this never contends with a build.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.cfg.budget_bytes else {
+            return;
+        };
+        while self.resident.load(Ordering::SeqCst) > budget {
+            let Some((shard_idx, key)) = self.pick_victim() else {
+                // Nothing evictable (everything in flight, or racing
+                // evictors emptied the cache): stop rather than spin.
+                return;
+            };
+            let shard = &self.shards[shard_idx];
+            let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+            // Re-validate under the write lock: the entry may have
+            // been evicted by a racing thread since we scored it.
+            let Some(slot) = map.get(&key) else { continue };
+            let bytes = match &*slot.lock() {
+                SlotState::Ready { bytes, .. } => *bytes,
+                // In-flight again (evicted + re-requested): skip.
+                _ => continue,
+            };
+            map.remove(&key);
+            drop(map);
+            // The detached slot stays `Ready`, so a thread that
+            // resolved it just before the removal still completes;
+            // the value's memory is freed when the last Arc drops.
+            self.resident.fetch_sub(bytes, Ordering::SeqCst);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The current policy's best victim: `(shard, key)` of the
+    /// published entry with the lowest score.
+    fn pick_victim(&self) -> Option<(usize, K)> {
+        let mut best: Option<(f64, u64, usize, K)> = None;
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let map = shard.read().unwrap_or_else(PoisonError::into_inner);
+            for (key, slot) in map.iter() {
+                let state = slot.lock();
+                let SlotState::Ready { bytes, cost, .. } = &*state else {
+                    continue;
+                };
+                let tick = slot.last_used.load(Ordering::Relaxed);
+                let score = match self.cfg.policy {
+                    EvictionPolicy::Lru => tick as f64,
+                    // Nanoseconds of rebuild work bought back per
+                    // byte freed; cheapest-per-byte goes first.
+                    EvictionPolicy::CostAware => cost.as_nanos() as f64 / (*bytes).max(1) as f64,
+                };
+                let better = match &best {
+                    None => true,
+                    Some((s, t, _, _)) => score < *s || (score == *s && tick < *t),
+                };
+                if better {
+                    best = Some((score, tick, idx, key.clone()));
+                }
+            }
+        }
+        best.map(|(_, _, idx, key)| (idx, key))
+    }
+}
+
+/// Rolls a slot from `Building` back to `Empty` (waking waiters so
+/// one of them retries) unless the build published — keeps a panicking
+/// builder from wedging every waiter forever — and, when no waiter is
+/// counted, removes the abandoned slot from its shard map so repeated
+/// failures (a missing `file:` path requested over and over with
+/// distinct specs) cannot grow the map without bound.
+struct AbandonGuard<'a, K, V>
+where
+    K: Eq + Hash + Clone,
+{
+    cache: &'a ShardedCache<K, V>,
+    key: &'a K,
+    slot: &'a Arc<Slot<V>>,
+    armed: bool,
+}
+
+impl<K, V> Drop for AbandonGuard<'_, K, V>
+where
+    K: Eq + Hash + Clone,
+{
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // Shard lock before slot lock (the global ordering). Holding
+        // the shard write lock across the rollback keeps a new waiter
+        // from resolving the map entry between the state reset and
+        // the removal decision.
+        let shard = self.cache.shard(self.key);
+        let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+        *self.slot.lock() = SlotState::Empty;
+        self.slot.changed.notify_all();
+        if self.slot.waiters.load(Ordering::SeqCst) == 0 {
+            if let Some(s) = map.get(self.key) {
+                if Arc::ptr_eq(s, self.slot) {
+                    map.remove(self.key);
+                }
+            }
         }
     }
 }
@@ -260,6 +649,9 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 1);
         assert_eq!(*cache.get(&7).unwrap(), "seven");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
+        assert!(stats.resident_bytes >= "seven".len() as u64);
     }
 
     #[test]
@@ -291,6 +683,9 @@ mod tests {
         });
         assert_eq!(builds.load(Ordering::SeqCst), KEYS as usize);
         assert_eq!(cache.len(), KEYS as usize);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, KEYS as u64);
+        assert_eq!(stats.hits + stats.misses, (THREADS * 32) as u64);
     }
 
     #[test]
@@ -315,13 +710,34 @@ mod tests {
     }
 
     #[test]
+    fn failed_builds_do_not_leak_slot_map_entries() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new();
+        for k in 0..200u32 {
+            let r: Result<_, String> =
+                cache.get_or_try_build(&k, || Err(format!("missing dataset {k}")));
+            assert!(r.is_err());
+        }
+        assert_eq!(
+            cache.tracked_slots(),
+            0,
+            "every abandoned waiterless slot must leave the map"
+        );
+        assert_eq!(cache.len(), 0);
+        // The keys remain perfectly usable afterwards.
+        assert_eq!(*cache.get_or_build(&17, || 99), 99);
+        assert_eq!(cache.tracked_slots(), 1);
+    }
+
+    #[test]
     fn a_panicking_builder_does_not_wedge_the_slot() {
         let cache: ShardedCache<u8, u8> = ShardedCache::new();
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             cache.get_or_build(&3, || panic!("builder exploded"));
         }));
         assert!(r.is_err());
-        // The slot was rolled back; a later build succeeds.
+        // The slot was rolled back (and the map entry removed); a
+        // later build succeeds.
+        assert_eq!(cache.tracked_slots(), 0);
         assert_eq!(*cache.get_or_build(&3, || 5), 5);
     }
 
@@ -332,5 +748,119 @@ mod tests {
             assert_eq!(*cache.get_or_build(&k, || k * k), k * k);
         }
         assert_eq!(cache.len(), 100);
+    }
+
+    #[test]
+    fn budget_bounds_resident_bytes_and_counts_evictions() {
+        // Values weigh exactly their Vec buffer + header; budget holds
+        // roughly 4 of the 16 values.
+        let value_bytes = std::mem::size_of::<Vec<u8>>() + 1024;
+        let budget = (4 * value_bytes) as u64;
+        let cache: ShardedCache<u32, Vec<u8>> =
+            ShardedCache::with_config(CacheConfig::budgeted(budget));
+        for k in 0..16u32 {
+            let v = cache.get_or_build(&k, || vec![k as u8; 1024]);
+            assert_eq!(v.len(), 1024);
+            assert!(
+                cache.stats().resident_bytes <= budget,
+                "resident must never exceed the budget"
+            );
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions >= 12, "evictions: {}", stats.evictions);
+        assert!(stats.entries <= 4);
+        // Evicted keys rebuild on demand, correctly.
+        let rebuilt = cache.get_or_build(&0, || vec![0u8; 1024]);
+        assert_eq!(rebuilt.len(), 1024);
+    }
+
+    #[test]
+    fn an_entry_larger_than_the_budget_is_served_but_not_retained() {
+        let cache: ShardedCache<u8, Vec<u8>> = ShardedCache::with_config(CacheConfig::budgeted(64));
+        let v = cache.get_or_build(&1, || vec![7u8; 4096]);
+        assert_eq!(v.len(), 4096, "oversized values still build and serve");
+        assert_eq!(cache.stats().resident_bytes, 0);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let value_bytes = (std::mem::size_of::<Vec<u8>>() + 512) as u64;
+        let cache: ShardedCache<u8, Vec<u8>> = ShardedCache::with_config(
+            CacheConfig::budgeted(3 * value_bytes).with_policy(EvictionPolicy::Lru),
+        );
+        for k in 0..3u8 {
+            cache.get_or_build(&k, || vec![k; 512]);
+        }
+        // Touch 0 and 1; inserting 3 must evict 2.
+        cache.get_or_build(&0, || unreachable!());
+        cache.get_or_build(&1, || unreachable!());
+        cache.get_or_build(&3, || vec![3; 512]);
+        assert!(cache.get(&2).is_none(), "coldest entry evicted");
+        assert!(cache.get(&0).is_some() && cache.get(&1).is_some() && cache.get(&3).is_some());
+    }
+
+    #[test]
+    fn cost_aware_keeps_expensive_entries() {
+        let value_bytes = (std::mem::size_of::<Vec<u8>>() + 512) as u64;
+        let cache: ShardedCache<u8, Vec<u8>> = ShardedCache::with_config(
+            CacheConfig::budgeted(3 * value_bytes).with_policy(EvictionPolicy::CostAware),
+        );
+        // Key 0 is expensive to rebuild; 1 and 2 are instant.
+        cache.get_or_build(&0, || {
+            std::thread::sleep(Duration::from_millis(50));
+            vec![0; 512]
+        });
+        cache.get_or_build(&1, || vec![1; 512]);
+        cache.get_or_build(&2, || vec![2; 512]);
+        // Insert two more cheap values: the expensive entry survives
+        // both evictions even though it is the least recently used.
+        cache.get_or_build(&3, || vec![3; 512]);
+        cache.get_or_build(&4, || vec![4; 512]);
+        assert!(
+            cache.get(&0).is_some(),
+            "the expensive-to-rebuild entry must be retained"
+        );
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn building_slots_are_never_evicted() {
+        // A tiny budget and a slow build racing cheap inserts: the
+        // in-flight slot must survive to publish, and its waiters all
+        // get the value.
+        let cache: Arc<ShardedCache<u32, Vec<u8>>> =
+            Arc::new(ShardedCache::with_config(CacheConfig::budgeted(2048)));
+        let barrier = Arc::new(Barrier::new(2));
+        let slow = {
+            let (cache, barrier) = (Arc::clone(&cache), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                barrier.wait();
+                cache.get_or_build(&1000, || {
+                    std::thread::sleep(Duration::from_millis(60));
+                    vec![9u8; 512]
+                })
+            })
+        };
+        barrier.wait();
+        // Hammer the budget while the slow build is in flight.
+        for k in 0..64u32 {
+            cache.get_or_build(&k, || vec![k as u8; 256]);
+        }
+        let v = slow.join().unwrap();
+        assert_eq!(*v, vec![9u8; 512]);
+    }
+
+    #[test]
+    fn eviction_policy_parses_from_strings() {
+        assert_eq!(
+            "lru".parse::<EvictionPolicy>().unwrap(),
+            EvictionPolicy::Lru
+        );
+        assert_eq!(
+            "cost".parse::<EvictionPolicy>().unwrap(),
+            EvictionPolicy::CostAware
+        );
+        assert!("mru".parse::<EvictionPolicy>().is_err());
     }
 }

@@ -28,7 +28,11 @@
 //!   across threads, and its [`ShardedCache`](coalesce::ShardedCache)s
 //!   coalesce concurrent builds of the same key into a single
 //!   execution (see the [`session`] module docs for the threading
-//!   model).
+//!   model). [`SessionConfig::cache_bytes`](session::SessionConfig)
+//!   bounds each cache's resident bytes ([`CacheWeight`]-accounted,
+//!   [`EvictionPolicy`]-governed, observable via
+//!   [`Session::cache_stats`](session::Session::cache_stats)); the
+//!   default is unbounded.
 //!
 //! # Example
 //!
@@ -58,16 +62,19 @@ pub mod registry;
 pub mod report;
 pub mod session;
 pub mod spec;
+pub mod weight;
 
 pub use app::AppSpec;
+pub use coalesce::{CacheConfig, CacheStats, EvictionPolicy};
 pub use dataset::{
     DatasetBuilder, DatasetError, DatasetGraph, DatasetRegistry, DatasetSource, DatasetSpec,
     TextFormat, BUILTIN_DATASETS, DATASET_SPEC_FORMS,
 };
 pub use registry::{TechniqueBuilder, TechniqueRegistry};
 pub use report::Report;
-pub use session::{Job, RunStats, Session, SessionConfig};
+pub use session::{Job, RunStats, Session, SessionCacheStats, SessionConfig};
 pub use spec::{
     SpecError, TechniqueAtom, TechniqueSpec, BUILTIN_TECHNIQUES, DEFAULT_DBG_HOT_GROUPS,
     DEFAULT_SEED,
 };
+pub use weight::CacheWeight;

@@ -50,7 +50,7 @@ use lgr_io::DatasetCache;
 use lgr_parallel::Pool;
 
 use crate::app::AppSpec;
-use crate::coalesce::ShardedCache;
+use crate::coalesce::{CacheConfig, CacheStats, EvictionPolicy, ShardedCache};
 use crate::dataset::{DatasetError, DatasetGraph, DatasetRegistry, DatasetSpec};
 use crate::registry::TechniqueRegistry;
 use crate::report::Report;
@@ -91,6 +91,19 @@ pub struct SessionConfig {
     /// (`None` = rebuild every session). Misses populate the cache;
     /// hits skip generation, parsing, and CSR construction entirely.
     pub dataset_cache: Option<PathBuf>,
+    /// Byte budget applied to **each** in-memory session cache
+    /// (graphs, permutations, reordered CSRs, roots, run stats, wall
+    /// times); `None` = unbounded, the historical behavior. When set,
+    /// published entries are evicted under [`SessionConfig::cache_policy`]
+    /// whenever a cache's resident bytes exceed the budget, and
+    /// evicted keys rebuild deterministically on their next request
+    /// (only the re-measured `reorder_ms` wall-clock field can
+    /// differ; [`Report::canonicalized`](crate::Report::canonicalized)
+    /// output is byte-identical).
+    pub cache_bytes: Option<u64>,
+    /// Replacement policy for budgeted caches (ignored when
+    /// [`SessionConfig::cache_bytes`] is `None`).
+    pub cache_policy: EvictionPolicy,
 }
 
 impl Default for SessionConfig {
@@ -107,6 +120,8 @@ impl Default for SessionConfig {
             apps: None,
             datasets: None,
             dataset_cache: None,
+            cache_bytes: None,
+            cache_policy: EvictionPolicy::default(),
         }
     }
 }
@@ -145,6 +160,104 @@ impl RunStats {
     /// Estimated execution cycles.
     pub fn cycles(&self) -> u64 {
         self.stats.cycles
+    }
+}
+
+/// A point-in-time snapshot of every session cache's counters — the
+/// observability surface behind `repro --cache-stats` and the serve
+/// protocol's `{"stats":"true"}` request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCacheStats {
+    /// Original-ordering graphs keyed by dataset spec.
+    pub graphs: CacheStats,
+    /// Timed permutations keyed by (dataset, technique, degree kind).
+    pub reorders: CacheStats,
+    /// Reordered CSRs under the same canonicalized keys.
+    pub reordered: CacheStats,
+    /// Per-dataset root-candidate vectors.
+    pub roots: CacheStats,
+    /// Traced run statistics keyed by job.
+    pub runs: CacheStats,
+    /// Untraced wall-clock measurements keyed by job.
+    pub walls: CacheStats,
+}
+
+impl SessionCacheStats {
+    /// Every cache's `(name, stats)` pair, in a fixed order.
+    pub fn named(&self) -> [(&'static str, CacheStats); 6] {
+        [
+            ("graphs", self.graphs),
+            ("reorders", self.reorders),
+            ("reordered", self.reordered),
+            ("roots", self.roots),
+            ("runs", self.runs),
+            ("walls", self.walls),
+        ]
+    }
+
+    /// The sum over every cache (budgets sum when configured).
+    pub fn total(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for (_, stats) in self.named() {
+            total.absorb(&stats);
+        }
+        total
+    }
+
+    /// Serializes to one JSON object on a single line, one nested
+    /// object per cache plus a `"total"` rollup:
+    /// `{"stats":{"graphs":{"hits":3,...},...,"total":{...}}}`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        fn write_cache(out: &mut String, name: &str, s: &CacheStats) {
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
+                 \"resident_bytes\":{},\"entries\":{},\"budget_bytes\":{}}}",
+                s.hits,
+                s.misses,
+                s.evictions,
+                s.resident_bytes,
+                s.entries,
+                s.budget_bytes
+                    .map_or_else(|| "null".to_owned(), |b| b.to_string()),
+            );
+        }
+        let mut out = String::from("{\"stats\":{");
+        for (name, stats) in self.named() {
+            write_cache(&mut out, name, &stats);
+            out.push(',');
+        }
+        write_cache(&mut out, "total", &self.total());
+        out.push_str("}}");
+        out
+    }
+}
+
+impl std::fmt::Display for SessionCacheStats {
+    /// A fixed-width table, one row per cache plus the total row.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<10} {:>8} {:>8} {:>10} {:>9} {:>15} {:>15}",
+            "cache", "hits", "misses", "evictions", "entries", "resident_bytes", "budget_bytes"
+        )?;
+        let total = self.total();
+        for (name, s) in self.named().iter().chain([&("total", total)]) {
+            writeln!(
+                f,
+                "{:<10} {:>8} {:>8} {:>10} {:>9} {:>15} {:>15}",
+                name,
+                s.hits,
+                s.misses,
+                s.evictions,
+                s.entries,
+                s.resident_bytes,
+                s.budget_bytes
+                    .map_or_else(|| "unbounded".to_owned(), |b| b.to_string()),
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -233,17 +346,22 @@ impl Session {
     /// A session whose technique specs also resolve against
     /// `registry`'s custom techniques.
     pub fn with_registry(cfg: SessionConfig, registry: TechniqueRegistry) -> Self {
+        let cache_cfg = CacheConfig {
+            budget_bytes: cfg.cache_bytes,
+            policy: cfg.cache_policy,
+            ..CacheConfig::default()
+        };
         Session {
-            cfg,
             registry,
             dataset_registry: DatasetRegistry::new(),
             pool: Pool::with_default_threads(),
-            graphs: ShardedCache::new(),
-            reorders: ShardedCache::new(),
-            reordered: ShardedCache::new(),
-            root_candidates: ShardedCache::new(),
-            runs: ShardedCache::new(),
-            walls: ShardedCache::new(),
+            graphs: ShardedCache::with_config(cache_cfg),
+            reorders: ShardedCache::with_config(cache_cfg),
+            reordered: ShardedCache::with_config(cache_cfg),
+            root_candidates: ShardedCache::with_config(cache_cfg),
+            runs: ShardedCache::with_config(cache_cfg),
+            walls: ShardedCache::with_config(cache_cfg),
+            cfg,
         }
     }
 
@@ -282,6 +400,20 @@ impl Session {
     fn log(&self, msg: &str) {
         if self.cfg.verbose {
             eprintln!("[repro] {msg}");
+        }
+    }
+
+    /// A snapshot of every cache's hit/miss/eviction/resident-bytes
+    /// counters. Cheap enough to call per request (`entries` walks
+    /// the shard maps; everything else is an atomic load).
+    pub fn cache_stats(&self) -> SessionCacheStats {
+        SessionCacheStats {
+            graphs: self.graphs.stats(),
+            reorders: self.reorders.stats(),
+            reordered: self.reordered.stats(),
+            roots: self.root_candidates.stats(),
+            runs: self.runs.stats(),
+            walls: self.walls.stats(),
         }
     }
 

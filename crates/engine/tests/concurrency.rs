@@ -173,6 +173,105 @@ fn hammered_session_coalesces_and_matches_the_sequential_run() {
     assert_eq!(concurrent, sequential, "concurrent != sequential");
 }
 
+/// A session with the `ring` dataset source and an optional per-cache
+/// byte budget — no counting; eviction legitimately rebuilds keys.
+fn budgeted_session(cache_bytes: Option<u64>) -> Session {
+    let mut cfg = SessionConfig::quick().with_scale_exp(10);
+    cfg.cache_bytes = cache_bytes;
+    let mut session = Session::with_registry(cfg, TechniqueRegistry::new());
+    session.dataset_registry_mut().register(
+        "ring",
+        "deterministic chorded ring; ring:<n>",
+        move |args, _scale| {
+            let n: u32 = args.first().and_then(|a| a.parse().ok()).unwrap_or(512);
+            let mut el = EdgeList::new(n as usize);
+            for v in 0..n {
+                el.push(v, (v + 1) % n);
+                el.push(v, (v * 7 + 3) % n);
+            }
+            Ok(el)
+        },
+    );
+    session
+}
+
+/// More distinct graphs than a 24 KiB budget holds (a `ring:300` CSR
+/// alone weighs ~9 KiB), with duplicates sprinkled in so hits and
+/// rebuilds interleave.
+fn eviction_job_list(session: &Session) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for i in 0..12u32 {
+        let ds = format!("ring:{}", 200 + i * 40);
+        jobs.push(
+            Job::new(
+                "pr:iters=2".parse().expect("valid app spec"),
+                session
+                    .dataset_registry()
+                    .parse(&ds)
+                    .expect("valid dataset"),
+            )
+            .with_technique(session.registry().parse("dbg").expect("valid technique")),
+        );
+        if i % 3 == 0 {
+            jobs.push(jobs.last().expect("just pushed").clone());
+        }
+    }
+    jobs
+}
+
+#[test]
+fn a_budgeted_session_evicts_under_contention_without_changing_reports() {
+    const BUDGET: u64 = 24 * 1024;
+
+    // The reference: an unbounded fresh session run sequentially —
+    // eviction and rebuild must never change report content.
+    let reference_session = budgeted_session(None);
+    let reference = canonical_lines(&reference_session, &eviction_job_list(&reference_session));
+
+    let session = Arc::new(budgeted_session(Some(BUDGET)));
+    let jobs = eviction_job_list(&session);
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (session, jobs, barrier) = (Arc::clone(&session), &jobs, &barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                for i in 0..jobs.len() {
+                    // Rotated starting points: some threads re-request
+                    // keys others' misses are evicting right now.
+                    let _ = session.report(&jobs[(i + t) % jobs.len()]);
+                }
+            });
+        }
+    });
+
+    let stats = session.cache_stats();
+    for (name, s) in stats.named() {
+        let budget = s
+            .budget_bytes
+            .expect("every cache of a budgeted session carries the budget");
+        assert!(
+            s.resident_bytes <= budget,
+            "{name}: resident {} exceeds budget {budget}",
+            s.resident_bytes
+        );
+    }
+    let total = stats.total();
+    assert!(
+        total.evictions > 0,
+        "a working set larger than the budget must evict: {total:?}"
+    );
+    assert!(total.hits > 0, "duplicates must still hit: {total:?}");
+
+    // Rebuilt-after-eviction entries answer with the same canonical
+    // bytes a never-evicting session produces.
+    let concurrent = canonical_lines(&session, &jobs);
+    assert_eq!(
+        concurrent, reference,
+        "eviction must be invisible in canonical report content"
+    );
+}
+
 #[test]
 fn the_session_itself_is_send_and_sync() {
     fn assert_send_sync<T: Send + Sync>() {}

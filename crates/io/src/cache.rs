@@ -90,9 +90,15 @@ impl DatasetCache {
             std::process::id(),
             STORE_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        save_lgr(&tmp, csr)?;
-        std::fs::rename(&tmp, &path)?;
-        Ok(path)
+        let result =
+            save_lgr(&tmp, csr).and_then(|()| std::fs::rename(&tmp, &path).map_err(IoError::from));
+        if result.is_err() {
+            // A failed write (disk full, permissions) or rename must
+            // not strand the temporary file in the cache directory —
+            // every retry would leave another one behind.
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result.map(|()| path)
     }
 }
 
@@ -134,6 +140,30 @@ mod tests {
         cache.store(key, &graph()).unwrap();
         std::fs::write(cache.path(key), b"definitely not an lgr file").unwrap();
         assert!(cache.load(key).is_none());
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn a_failed_store_leaves_no_stray_temp_files() {
+        let cache = tmp_cache("failed-store");
+        let key = "kr|sd=2048|seed=42";
+        // Occupy the entry's final path with a non-empty directory:
+        // `save_lgr` succeeds into the temp file, but the rename into
+        // place fails — the shared cleanup path (also taken when
+        // `save_lgr` itself errors) must then remove the temp file.
+        std::fs::create_dir_all(cache.path(key).join("occupied")).unwrap();
+        assert!(cache.store(key, &graph()).is_err());
+        let strays: Vec<_> = std::fs::read_dir(cache.dir())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|name| name.contains(".tmp"))
+            .collect();
+        assert!(strays.is_empty(), "stray temp files: {strays:?}");
+        // And repeated failures never accumulate entries either.
+        for _ in 0..5 {
+            assert!(cache.store(key, &graph()).is_err());
+        }
+        assert_eq!(std::fs::read_dir(cache.dir()).unwrap().count(), 1);
         std::fs::remove_dir_all(cache.dir()).ok();
     }
 

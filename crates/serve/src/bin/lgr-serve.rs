@@ -15,8 +15,16 @@
 //!   --scale <exp>        sd dataset gets 2^exp vertices
 //!   --roots <n>          roots per root-dependent app run
 //!   --sim <knobs>        simulator geometry (cores=8,sockets=2,...)
+//!   --cache-bytes <n>    per-cache resident budget (accepts k/m/g
+//!                        suffixes); omit for unbounded caches
+//!   --cache-policy <p>   eviction policy under a budget: `cost`
+//!                        (default, cost-aware) or `lru`
 //!   --verbose            progress logging to stderr
 //! ```
+//!
+//! A long-lived `serve` process without `--cache-bytes` caches every
+//! distinct job forever; give it a budget and ask the server for its
+//! counters by sending the request line `{"stats":"true"}`.
 //!
 //! `serve` binds (port 0 picks an ephemeral port), prints one
 //! `listening on <addr>` line to stdout, and serves forever: each of
@@ -35,7 +43,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use lgr_cachesim::SimConfig;
-use lgr_engine::{Session, SessionConfig};
+use lgr_engine::{EvictionPolicy, Session, SessionConfig};
 use lgr_serve::{run_batch, run_local, serve};
 
 fn main() -> ExitCode {
@@ -62,6 +70,8 @@ fn main() -> ExitCode {
     let mut scale_exp: Option<u32> = None;
     let mut roots: Option<usize> = None;
     let mut sim: Option<SimConfig> = None;
+    let mut cache_bytes: Option<u64> = None;
+    let mut cache_policy: Option<EvictionPolicy> = None;
     // Flags seen, checked against the mode's allowlist below —
     // silently ignoring a mode-irrelevant flag (say `client --quick`)
     // would let the user believe it took effect.
@@ -134,6 +144,20 @@ fn main() -> ExitCode {
                 Some(Err(e)) => return usage(&e.to_string()),
                 None => return usage("--sim needs a knob list (cores=8,sockets=2,...)"),
             },
+            "--cache-bytes" => match args.next().as_deref().map(parse_bytes) {
+                Some(Ok(n)) if n >= 1 => {
+                    cache_bytes = Some(n);
+                    seen.push("--cache-bytes");
+                }
+                _ => return usage("--cache-bytes needs a positive size (e.g. 16m, 4096k, 1g)"),
+            },
+            "--cache-policy" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(p) => {
+                    cache_policy = Some(p);
+                    seen.push("--cache-policy");
+                }
+                None => return usage("--cache-policy needs `lru` or `cost`"),
+            },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown option {other}")),
         }
@@ -141,7 +165,15 @@ fn main() -> ExitCode {
 
     // Each mode accepts only the flags its usage line documents; a
     // flag that would be silently ignored is an error instead.
-    const SESSION_FLAGS: [&str; 5] = ["--quick", "--scale", "--roots", "--sim", "--verbose"];
+    const SESSION_FLAGS: [&str; 7] = [
+        "--quick",
+        "--scale",
+        "--roots",
+        "--sim",
+        "--cache-bytes",
+        "--cache-policy",
+        "--verbose",
+    ];
     let allowed: Vec<&str> = match mode.as_str() {
         "serve" => ["--addr", "--workers", "--allow-files"]
             .into_iter()
@@ -172,6 +204,10 @@ fn main() -> ExitCode {
     }
     if let Some(s) = sim {
         cfg.sim = s;
+    }
+    cfg.cache_bytes = cache_bytes;
+    if let Some(p) = cache_policy {
+        cfg.cache_policy = p;
     }
     cfg.verbose = verbose;
 
@@ -248,6 +284,23 @@ fn main() -> ExitCode {
     }
 }
 
+/// Parses a byte size with an optional binary suffix: `4096`,
+/// `4096k`, `16m`, `1g` (case-insensitive).
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last().map(|c| c.to_ascii_lowercase()) {
+        Some('k') => (&s[..s.len() - 1], 1u64 << 10),
+        Some('m') => (&s[..s.len() - 1], 1 << 20),
+        Some('g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+        .ok_or_else(|| format!("not a byte size: `{s}`"))
+}
+
 /// Reads non-empty job lines from a file or stdin (`-`).
 fn read_jobs(path: Option<&str>) -> Result<Vec<String>, String> {
     let text = match path {
@@ -274,9 +327,9 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: lgr-serve serve  [--addr <host:port>] [--workers <n>] [--allow-files] [--quick] [--scale <exp>] [--roots <n>] [--sim <knobs>] [--verbose]\n\
+        "usage: lgr-serve serve  [--addr <host:port>] [--workers <n>] [--allow-files] [--quick] [--scale <exp>] [--roots <n>] [--sim <knobs>] [--cache-bytes <n[k|m|g]>] [--cache-policy <lru|cost>] [--verbose]\n\
          \x20      lgr-serve client --addr <host:port> --jobs <file|-> [--concurrency <m>] [--canonical]\n\
-         \x20      lgr-serve local  --jobs <file|-> [--canonical] [--quick] [--scale <exp>] [--roots <n>] [--sim <knobs>] [--verbose]"
+         \x20      lgr-serve local  --jobs <file|-> [--canonical] [--quick] [--scale <exp>] [--roots <n>] [--sim <knobs>] [--cache-bytes <n[k|m|g]>] [--cache-policy <lru|cost>] [--verbose]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

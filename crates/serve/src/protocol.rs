@@ -168,16 +168,45 @@ impl RequestPolicy {
 /// the wall-clock field regardless of what the request asked
 /// (`lgr-serve local --canonical` uses it); `policy` bounds what the
 /// request may ask of the server (filesystem access, scale).
+///
+/// A request line of `{"stats":"true"}` is not a job: it answers with
+/// the session's cache-counter snapshot
+/// ([`Session::cache_stats`](lgr_engine::Session::cache_stats)
+/// serialized to one JSON line) — the observability hook a budgeted
+/// long-lived server is monitored through.
 pub fn handle_line(
     session: &Session,
     line: &str,
     force_canonical: bool,
     policy: RequestPolicy,
 ) -> String {
+    match stats_request(line) {
+        Some(Ok(())) => return session.cache_stats().to_json(),
+        Some(Err(message)) => return error_line(&message),
+        None => {}
+    }
     match run_line(session, line, force_canonical, policy) {
         Ok(report) => report.to_json(),
         Err(message) => error_line(&message),
     }
+}
+
+/// Classifies a line as a stats request: `None` = not one (parse it
+/// as a job), `Some(Ok(()))` = valid, `Some(Err(_))` = a malformed
+/// stats request (the `stats` key is present but wrong).
+fn stats_request(line: &str) -> Option<Result<(), String>> {
+    let pairs = parse_flat_object(line).ok()?;
+    if !pairs.iter().any(|(k, _)| k == "stats") {
+        return None;
+    }
+    if pairs.len() > 1 {
+        return Some(Err("a stats request takes no other keys".to_owned()));
+    }
+    let value = &pairs[0].1;
+    Some(match value.to_ascii_lowercase().as_str() {
+        "true" | "1" | "yes" => Ok(()),
+        other => Err(format!("stats must be true, got `{other}`")),
+    })
 }
 
 fn run_line(

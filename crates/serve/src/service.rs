@@ -220,11 +220,17 @@ pub fn run_batch(
     concurrency: usize,
     canonical: bool,
 ) -> std::io::Result<Vec<String>> {
+    if jobs.is_empty() {
+        // A fully filtered batch has nothing to send; don't open a
+        // connection (or require a reachable server) just to learn
+        // that.
+        return Ok(Vec::new());
+    }
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<String>>> = Mutex::new(vec![None; jobs.len()]);
     let first_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
     std::thread::scope(|scope| {
-        for _ in 0..concurrency.max(1).min(jobs.len().max(1)) {
+        for _ in 0..concurrency.max(1).min(jobs.len()) {
             scope.spawn(|| {
                 let worker = || -> std::io::Result<()> {
                     let stream = TcpStream::connect(addr)?;

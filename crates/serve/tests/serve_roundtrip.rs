@@ -251,6 +251,64 @@ fn invalid_utf8_requests_error_and_the_connection_survives() {
 }
 
 #[test]
+fn an_empty_batch_never_opens_a_connection() {
+    // 127.0.0.1:1 is a guaranteed-dead address; if run_batch tried to
+    // connect for an empty job list this would be a refused-connection
+    // error rather than an empty Ok.
+    let out = run_batch("127.0.0.1:1", &[], 4, false).expect("empty batch needs no server");
+    assert!(out.is_empty());
+}
+
+#[test]
+fn a_stats_request_returns_the_cache_counters() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap().to_string();
+    let mut cfg = tiny_cfg();
+    cfg.cache_bytes = Some(64 * 1024);
+    let session = Arc::new(Session::new(cfg));
+    let _workers = serve(
+        listener,
+        session,
+        ServeOptions {
+            workers: 2,
+            ..Default::default()
+        },
+    );
+
+    // A fresh server reports all-zero counters with the budget echoed.
+    let out = run_batch(&addr, &[r#"{"stats":"true"}"#.to_owned()], 1, false).expect("stats");
+    assert!(out[0].starts_with(r#"{"stats":{"#), "{}", out[0]);
+    assert!(out[0].contains(r#""budget_bytes":65536"#), "{}", out[0]);
+    assert!(out[0].contains(r#""total":{"hits":0"#), "{}", out[0]);
+
+    // After some jobs (with duplicates) the counters move: misses for
+    // the first builds, hits for the coalesced/cached repeats.
+    let jobs = vec![
+        r#"{"app":"pr:iters=2","dataset":"lj","technique":"dbg"}"#.to_owned(),
+        r#"{"app":"pr:iters=2","dataset":"lj","technique":"dbg"}"#.to_owned(),
+        r#"{"stats":"true"}"#.to_owned(),
+    ];
+    let out = run_batch(&addr, &jobs, 1, false).expect("jobs then stats");
+    assert!(out[0].contains("\"cycles\""), "{}", out[0]);
+    assert_eq!(out[0], out[1], "duplicate jobs share cached report content");
+    let stats = &out[2];
+    assert!(stats.contains(r#""graphs":{"hits":"#), "{stats}");
+    assert!(
+        !stats.contains(r#""total":{"hits":0,"misses":0"#),
+        "{stats}"
+    );
+
+    // Malformed stats requests are protocol errors, not jobs.
+    let bad = vec![
+        r#"{"stats":"false"}"#.to_owned(),
+        r#"{"stats":"true","app":"pr"}"#.to_owned(),
+    ];
+    let out = run_batch(&addr, &bad, 1, false).expect("bad stats lines");
+    assert!(out[0].contains("\"error\""), "{}", out[0]);
+    assert!(out[1].contains("no other keys"), "{}", out[1]);
+}
+
+#[test]
 fn client_injects_the_canonical_flag() {
     let mut req = JobRequest::parse(r#"{"app":"pr","dataset":"lj"}"#).unwrap();
     req.canonical = true;

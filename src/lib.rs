@@ -150,6 +150,38 @@
 //! Under `--canonical` (which clears the single wall-clock report
 //! field) the two outputs diff byte-for-byte.
 //!
+//! # Memory governance
+//!
+//! Session caches are unbounded by default — every distinct (dataset,
+//! technique, app) a long-lived server answers stays resident
+//! forever. [`SessionConfig::cache_bytes`](engine::SessionConfig)
+//! gives each cache a byte budget: values report their estimated
+//! resident size through [`CacheWeight`](engine::CacheWeight), and
+//! once a cache's published bytes exceed the budget it evicts — by
+//! measured rebuild-cost per byte under the default
+//! [`EvictionPolicy::CostAware`](engine::EvictionPolicy), or plain
+//! recency under `Lru`. In-flight builds are never evicted, and a
+//! rebuilt entry answers with canonically identical report bytes.
+//! [`Session::cache_stats`](engine::Session::cache_stats) snapshots
+//! per-cache hit/miss/eviction/resident counters (the CLI surfaces:
+//! `repro --cache-stats`, `lgr-serve serve --cache-bytes 256m`, and
+//! the `{"stats":"true"}` request line):
+//!
+//! ```
+//! use graph_reorder::prelude::*;
+//!
+//! let mut cfg = SessionConfig::quick().with_scale_exp(10);
+//! cfg.cache_bytes = Some(64 * 1024); // budget per cache; None = unbounded
+//! let session = Session::new(cfg);
+//! let job = Job::new("pr".parse().unwrap(), "lj".parse::<DatasetSpec>().unwrap());
+//! session.report(&job);
+//!
+//! let stats = session.cache_stats();
+//! assert!(stats.total().misses > 0);
+//! assert!(stats.graphs.resident_bytes <= 64 * 1024);
+//! println!("{stats}"); // fixed-width table; stats.to_json() for one JSON line
+//! ```
+//!
 //! # Migrating from `TechniqueId`
 //!
 //! The closed `TechniqueId` enum (and the `Harness` in `lgr-bench`)
@@ -190,8 +222,9 @@ pub mod prelude {
         Dbg, Gorder, HubCluster, HubSort, Identity, ReorderingTechnique, Sort, TechniqueId,
     };
     pub use lgr_engine::{
-        AppSpec, DatasetRegistry, DatasetSpec, Job, Report, Session, SessionConfig, SpecError,
-        TechniqueRegistry, TechniqueSpec,
+        AppSpec, CacheStats, CacheWeight, DatasetRegistry, DatasetSpec, EvictionPolicy, Job,
+        Report, Session, SessionCacheStats, SessionConfig, SpecError, TechniqueRegistry,
+        TechniqueSpec,
     };
     pub use lgr_graph::datasets::{DatasetId, DatasetScale};
     pub use lgr_graph::{gen, Csr, DegreeKind, EdgeList, Permutation};
