@@ -41,12 +41,19 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use lgr_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use lgr_sync::{rank, Condvar, Mutex, MutexGuard, Rank, RwLock};
+
 use crate::weight::CacheWeight;
+
+/// Shard maps are the first locks in the workspace's global order.
+const SHARD_RANK: Rank = rank(100, "engine.cache.shard");
+/// Per-key slot mutexes nest strictly inside shard locks.
+const SLOT_RANK: Rank = rank(200, "engine.cache.slot");
 
 /// Default number of independently locked shards. A small power of
 /// two keeps the memory overhead negligible while making same-instant
@@ -212,15 +219,19 @@ struct Slot<V> {
 impl<V> Slot<V> {
     fn new() -> Self {
         Slot {
-            state: Mutex::new(SlotState::Empty),
-            changed: Condvar::new(),
+            state: Mutex::ranked(SLOT_RANK, SlotState::Empty),
+            changed: Condvar::with_label("engine.cache.slot.changed"),
             waiters: AtomicUsize::new(0),
             last_used: AtomicU64::new(0),
         }
     }
 
+    /// Slot locks recover from poison inside `lgr_sync::Mutex::lock`
+    /// (counted in [`lgr_sync::poison_recoveries`]): a builder panic
+    /// must not cascade into every coalescing waiter.
+    #[track_caller]
     fn lock(&self) -> MutexGuard<'_, SlotState<V>> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        self.state.lock()
     }
 }
 
@@ -253,8 +264,13 @@ pub struct ShardedCache<K, V> {
     resident: AtomicU64,
 }
 
-/// One independently locked map shard.
-type Shard<K, V> = RwLock<HashMap<K, Arc<Slot<V>>>>;
+/// One independently locked map shard. The hasher is the fixed-seed
+/// [`DefaultHasher`] (not std's per-map `RandomState`): map iteration
+/// order in [`ShardedCache::pick_victim`] must be a pure function of
+/// the operation history so model-checked executions replay
+/// deterministically.
+type Shard<K, V> = RwLock<ShardMap<K, V>>;
+type ShardMap<K, V> = HashMap<K, Arc<Slot<V>>, BuildHasherDefault<DefaultHasher>>;
 
 impl<K, V> std::fmt::Debug for ShardedCache<K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -291,7 +307,7 @@ where
         let shards = cfg.shards.max(1);
         ShardedCache {
             shards: (0..shards)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| RwLock::ranked(SHARD_RANK, ShardMap::default()))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             cfg,
@@ -312,9 +328,17 @@ where
     /// `resident_bytes` are instantaneous; the rest are cumulative.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            // ordering: Relaxed — monotone counters read for a
+            // statistical snapshot; no other memory is published
+            // through them, so cross-counter skew is acceptable.
             hits: self.hits.load(Ordering::Relaxed),
+            // ordering: Relaxed — see `hits` above.
             misses: self.misses.load(Ordering::Relaxed),
+            // ordering: Relaxed — see `hits` above.
             evictions: self.evictions.load(Ordering::Relaxed),
+            // ordering: Relaxed — a snapshot read; writers use SeqCst
+            // for their own add/sub pairing, but an observer needs no
+            // ordering against the maps it doesn't read.
             resident_bytes: self.resident.load(Ordering::Relaxed),
             entries: self.len(),
             budget_bytes: self.cfg.budget_bytes,
@@ -332,6 +356,10 @@ where
     }
 
     fn tick(&self) -> u64 {
+        // ordering: Relaxed — the clock only needs per-instance
+        // uniqueness/monotonicity, which fetch_add gives at any
+        // ordering; recency stamps are heuristic inputs, not
+        // synchronization.
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -339,17 +367,15 @@ where
     /// lock if needed. Most calls take only the read lock.
     fn slot(&self, key: &K) -> Arc<Slot<V>> {
         let shard = self.shard(key);
-        if let Some(s) = shard
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .get(key)
-        {
+        // The read guard is a temporary in the `if let` scrutinee, so
+        // it is dropped before the `write()` below — no read→write
+        // self-deadlock, and no same-rank reacquire for the auditor.
+        if let Some(s) = shard.read().get(key) {
             return Arc::clone(s);
         }
         Arc::clone(
             shard
                 .write()
-                .unwrap_or_else(PoisonError::into_inner)
                 .entry(key.clone())
                 .or_insert_with(|| Arc::new(Slot::new())),
         )
@@ -360,10 +386,12 @@ where
     /// requests).
     pub fn get(&self, key: &K) -> Option<Arc<V>> {
         let shard = self.shard(key);
-        let guard = shard.read().unwrap_or_else(PoisonError::into_inner);
+        let guard = shard.read();
         let slot = guard.get(key)?;
         let value = match &*slot.lock() {
             SlotState::Ready { value, .. } => {
+                // ordering: Relaxed — a heuristic recency stamp read
+                // only by the (lock-holding) victim scan.
                 slot.last_used.store(self.tick(), Ordering::Relaxed);
                 Some(Arc::clone(value))
             }
@@ -378,7 +406,6 @@ where
             .iter()
             .map(|s| {
                 s.read()
-                    .unwrap_or_else(PoisonError::into_inner)
                     .values()
                     .filter(|slot| matches!(&*slot.lock(), SlotState::Ready { .. }))
                     .count()
@@ -396,10 +423,7 @@ where
     /// failed build with no waiters the abandoned slot must not remain
     /// here.
     pub fn tracked_slots(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
-            .sum()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// The value for `key`, running `build` at most once per key no
@@ -438,7 +462,9 @@ where
             loop {
                 match &*state {
                     SlotState::Ready { value, .. } => {
+                        // ordering: Relaxed — heuristic recency stamp.
                         slot.last_used.store(self.tick(), Ordering::Relaxed);
+                        // ordering: Relaxed — statistics counter only.
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         return Ok(Arc::clone(value));
                     }
@@ -446,12 +472,15 @@ where
                         // Counted waiters keep a failing build from
                         // dropping the map entry out from under their
                         // retry (see AbandonGuard).
-                        slot.waiters.fetch_add(1, Ordering::SeqCst);
-                        state = slot
-                            .changed
-                            .wait(state)
-                            .unwrap_or_else(PoisonError::into_inner);
-                        slot.waiters.fetch_sub(1, Ordering::SeqCst);
+                        // ordering: Relaxed — every access to `waiters`
+                        // (this add/sub pair and AbandonGuard's read)
+                        // happens while holding the slot mutex, which
+                        // already orders them; the atomic only spares a
+                        // second field under the same lock.
+                        slot.waiters.fetch_add(1, Ordering::Relaxed);
+                        state = slot.changed.wait(state);
+                        // ordering: Relaxed — see fetch_add above.
+                        slot.waiters.fetch_sub(1, Ordering::Relaxed);
                     }
                     SlotState::Empty => {
                         *state = SlotState::Building;
@@ -460,6 +489,7 @@ where
                 }
             }
         }
+        // ordering: Relaxed — statistics counter only.
         self.misses.fetch_add(1, Ordering::Relaxed);
         // This thread owns the build. The guard rolls the slot back to
         // Empty if the builder panics or errors, so waiters never
@@ -471,6 +501,8 @@ where
             slot: &slot,
             armed: true,
         };
+        // No shard or slot lock is held here (both guards dropped
+        // above): the clock read and the builder itself run unlocked.
         let start = Instant::now();
         match build() {
             Ok(v) => {
@@ -499,7 +531,7 @@ where
     /// detached and unaccounted — the newer build owns the residency.
     fn publish(&self, key: &K, slot: &Arc<Slot<V>>, value: Arc<V>, bytes: u64, cost: Duration) {
         let shard = self.shard(key);
-        let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+        let mut map = shard.write();
         let accounted = match map.get(key) {
             Some(s) if Arc::ptr_eq(s, slot) => true,
             Some(_) => false,
@@ -508,6 +540,7 @@ where
                 true
             }
         };
+        // ordering: Relaxed — heuristic recency stamp.
         slot.last_used.store(self.tick(), Ordering::Relaxed);
         *slot.lock() = SlotState::Ready {
             value,
@@ -520,6 +553,10 @@ where
             // evictor needs that lock to remove this entry, so it
             // cannot subtract the bytes before they were added (which
             // would transiently underflow the unsigned counter).
+            // ordering: SeqCst — pairs with the lock-free budget check
+            // in enforce_budget's loop condition; the strongest
+            // ordering keeps the add totally ordered with every
+            // racing evictor's load and fetch_sub.
             self.resident.fetch_add(bytes, Ordering::SeqCst);
         }
         drop(map);
@@ -534,6 +571,9 @@ where
         let Some(budget) = self.cfg.budget_bytes else {
             return;
         };
+        // ordering: SeqCst — this lock-free check races publishers'
+        // fetch_add and other evictors' fetch_sub; total ordering
+        // guarantees an over-budget add is visible to some evictor.
         while self.resident.load(Ordering::SeqCst) > budget {
             let Some((shard_idx, key)) = self.pick_victim() else {
                 // Nothing evictable (everything in flight, or racing
@@ -541,7 +581,7 @@ where
                 return;
             };
             let shard = &self.shards[shard_idx];
-            let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+            let mut map = shard.write();
             // Re-validate under the write lock: the entry may have
             // been evicted by a racing thread since we scored it.
             let Some(slot) = map.get(&key) else { continue };
@@ -555,7 +595,11 @@ where
             // The detached slot stays `Ready`, so a thread that
             // resolved it just before the removal still completes;
             // the value's memory is freed when the last Arc drops.
+            // ordering: SeqCst — pairs with publish's fetch_add; the
+            // entry was removed under the shard write lock after its
+            // bytes were charged, so this sub never underflows.
             self.resident.fetch_sub(bytes, Ordering::SeqCst);
+            // ordering: Relaxed — statistics counter only.
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -565,12 +609,14 @@ where
     fn pick_victim(&self) -> Option<(usize, K)> {
         let mut best: Option<(f64, u64, usize, K)> = None;
         for (idx, shard) in self.shards.iter().enumerate() {
-            let map = shard.read().unwrap_or_else(PoisonError::into_inner);
+            let map = shard.read();
             for (key, slot) in map.iter() {
                 let state = slot.lock();
                 let SlotState::Ready { bytes, cost, .. } = &*state else {
                     continue;
                 };
+                // ordering: Relaxed — heuristic recency stamp; a
+                // slightly stale tick only shifts the victim choice.
                 let tick = slot.last_used.load(Ordering::Relaxed);
                 let score = match self.cfg.policy {
                     EvictionPolicy::Lru => tick as f64,
@@ -620,10 +666,14 @@ where
         // from resolving the map entry between the state reset and
         // the removal decision.
         let shard = self.cache.shard(self.key);
-        let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+        let mut map = shard.write();
         *self.slot.lock() = SlotState::Empty;
         self.slot.changed.notify_all();
-        if self.slot.waiters.load(Ordering::SeqCst) == 0 {
+        // ordering: Relaxed — `waiters` is only mutated under the slot
+        // mutex, which this thread just released inside the shard
+        // write section; a waiter that could still increment it must
+        // first reacquire the slot mutex, ordered after our store.
+        if self.slot.waiters.load(Ordering::Relaxed) == 0 {
             if let Some(s) = map.get(self.key) {
                 if Arc::ptr_eq(s, self.slot) {
                     map.remove(self.key);

@@ -186,6 +186,8 @@ impl Adjacency {
                     // disjoint across workers.
                     unsafe { nb.write(slot, other) };
                     if let (Some(ws), Some(wt)) = (weights, wt) {
+                        // SAFETY: same disjoint-slot argument as the
+                        // neighbor write above.
                         unsafe { wt.write(slot, ws[i]) };
                     }
                 }
@@ -206,6 +208,7 @@ impl Adjacency {
                     // disjoint, and each worker owns a distinct vertex
                     // range.
                     let nbrs = unsafe { nb.slice_mut(range.clone()) };
+                    // SAFETY: same disjoint per-vertex range as above.
                     let ws = wt.map(|wt| unsafe { wt.slice_mut(range.clone()) });
                     sort_adjacent(nbrs, ws, &mut scratch);
                 }
@@ -315,6 +318,8 @@ impl Adjacency {
                     }
                     let out_w = match (self.weights.as_ref(), wt) {
                         (Some(src_w), Some(wt)) => {
+                            // SAFETY: same disjoint destination range
+                            // as the neighbor slice above.
                             let out_w = unsafe { wt.slice_mut(dst) };
                             out_w.copy_from_slice(&src_w[src]);
                             Some(out_w)

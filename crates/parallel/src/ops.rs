@@ -205,6 +205,7 @@ where
                     let idx = w * bins + b;
                     // SAFETY: same disjoint-columns argument.
                     let c = unsafe { off.read(idx) };
+                    // SAFETY: same disjoint-columns argument.
                     unsafe { off.write(idx, acc) };
                     acc += c;
                 }
@@ -238,6 +239,8 @@ where
                     unsafe { starts.write(b, starts.read(b) + base) };
                     for wk in 0..workers {
                         let idx = wk * bins + b;
+                        // SAFETY: same disjoint-columns-per-chunk
+                        // argument as the rebase above.
                         unsafe { off.write(idx, off.read(idx) + base) };
                     }
                 }

@@ -1,9 +1,22 @@
 //! The persistent worker pool.
+//!
+//! All synchronization goes through `lgr-sync` wrappers: the pool's
+//! locks carry ranks in the workspace's global lock order (`pool.gate`
+//! = 300, `pool.state` = 310, both above the engine's cache locks), and
+//! under the `model` feature the whole broadcast handshake runs inside
+//! the deterministic interleaving explorer (see `tests/model.rs`).
 
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
+
+use lgr_sync::thread::JoinHandle;
+use lgr_sync::{rank, Condvar, Mutex, Rank};
+
+/// Broadcast serialization comes before epoch bookkeeping.
+const GATE_RANK: Rank = rank(300, "pool.gate");
+/// Epoch/job handshake state; acquired while holding `pool.gate`.
+const STATE_RANK: Rank = rank(310, "pool.state");
 
 /// A type-erased pointer to the closure of the broadcast in flight.
 ///
@@ -12,6 +25,9 @@ use std::thread::JoinHandle;
 #[derive(Clone, Copy)]
 struct Job {
     data: *const (),
+    // SAFETY: contract of `call` — it must only be invoked with the
+    // `data` pointer above, which is the `&F` it was monomorphized
+    // for (upheld by construction in `Pool::broadcast`).
     call: unsafe fn(*const (), usize),
 }
 
@@ -105,20 +121,23 @@ impl Pool {
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                epoch: 0,
-                job: None,
-                remaining: 0,
-                panic_payload: None,
-                shutdown: false,
-            }),
-            work: Condvar::new(),
-            done: Condvar::new(),
+            state: Mutex::ranked(
+                STATE_RANK,
+                State {
+                    epoch: 0,
+                    job: None,
+                    remaining: 0,
+                    panic_payload: None,
+                    shutdown: false,
+                },
+            ),
+            work: Condvar::with_label("pool.work"),
+            done: Condvar::with_label("pool.done"),
         });
         let workers = (1..threads)
             .map(|index| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                lgr_sync::thread::Builder::new()
                     .name(format!("lgr-pool-{index}"))
                     .spawn(move || worker_loop(&shared, index))
                     .expect("spawning pool worker thread")
@@ -127,7 +146,7 @@ impl Pool {
         Pool {
             shared,
             workers,
-            gate: Mutex::new(()),
+            gate: Mutex::ranked(GATE_RANK, ()),
             threads,
         }
     }
@@ -183,26 +202,23 @@ impl Pool {
             return;
         }
         /// Downcasts `data` back to the concrete closure and calls it.
+        ///
+        /// # Safety
+        /// `data` must be the `&F` installed by the enclosing
+        /// `broadcast`, still alive for the duration of the call.
         unsafe fn call<F: Fn(usize)>(data: *const (), index: usize) {
             // SAFETY (of the deref): `data` is the `&F` installed by
             // the enclosing `broadcast`, which is still alive because
             // `broadcast` blocks until every worker is done with it.
             (*(data as *const F))(index)
         }
-        let _serialize = self
-            .gate
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _serialize = self.gate.lock();
         let job = Job {
             data: (&f as *const F).cast::<()>(),
             call: call::<F>,
         };
         {
-            let mut s = self
-                .shared
-                .state
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut s = self.shared.state.lock();
             s.job = Some(job);
             s.epoch = s.epoch.wrapping_add(1);
             s.remaining = self.workers.len();
@@ -214,17 +230,9 @@ impl Pool {
         // outlive this frame).
         let caller = catch_unwind(AssertUnwindSafe(|| f(0)));
         let worker_panic = {
-            let mut s = self
-                .shared
-                .state
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut s = self.shared.state.lock();
             while s.remaining > 0 {
-                s = self
-                    .shared
-                    .done
-                    .wait(s)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                s = self.shared.done.wait(s);
             }
             s.job = None;
             s.panic_payload.take()
@@ -243,11 +251,7 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut s = self
-                .shared
-                .state
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut s = self.shared.state.lock();
             s.shutdown = true;
             self.shared.work.notify_all();
         }
@@ -261,10 +265,7 @@ fn worker_loop(shared: &Shared, index: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut s = shared
-                .state
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut s = shared.state.lock();
             loop {
                 if s.shutdown {
                     return;
@@ -273,20 +274,14 @@ fn worker_loop(shared: &Shared, index: usize) {
                     seen_epoch = s.epoch;
                     break s.job.expect("epoch bumped without a job");
                 }
-                s = shared
-                    .work
-                    .wait(s)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                s = shared.work.wait(s);
             }
         };
         // SAFETY: `job` was installed by a `broadcast` that is still
         // blocked waiting for this worker's completion signal below,
         // so the closure it points to is alive.
         let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data, index) }));
-        let mut s = shared
-            .state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut s = shared.state.lock();
         if let Err(payload) = result {
             // Keep the first payload; later ones are usually cascades.
             s.panic_payload.get_or_insert(payload);

@@ -1,0 +1,132 @@
+//! Exhaustive model checks of the pool's broadcast handshake
+//! (compiled only with `--features model`).
+//!
+//! These explore every interleaving (within the preemption bound) of
+//! the epoch/remaining/condvar protocol in `pool.rs`. Deadlock
+//! detection doubles as the missed-wakeup oracle: if any schedule
+//! could lose a `work`/`done` notification, the explorer reports the
+//! stuck schedule instead of hanging.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use lgr_parallel::Pool;
+use lgr_sync::model;
+
+/// One spawned worker + the caller: a broadcast runs `f` exactly once
+/// per worker under every interleaving of the handshake.
+#[test]
+fn broadcast_runs_exactly_once_per_worker() {
+    let report = model::check(|| {
+        let pool = Pool::new(2);
+        let counts: Vec<AtomicUsize> = (0..2).map(|_| AtomicUsize::new(0)).collect();
+        pool.broadcast(|w| {
+            // ordering: Relaxed — counts are only read after the
+            // broadcast barrier below.
+            counts[w].fetch_add(1, Ordering::Relaxed);
+        });
+        for (w, c) in counts.iter().enumerate() {
+            // ordering: Relaxed — broadcast() already synchronized.
+            assert_eq!(c.load(Ordering::Relaxed), 1, "worker {w}");
+        }
+        drop(pool); // shutdown handshake is part of the explored space
+    });
+    println!("broadcast_runs_exactly_once_per_worker: {report}");
+    assert!(report.executions >= 2, "explorer must branch: {report}");
+}
+
+/// Epochs are cumulative: two broadcasts back to back never rerun or
+/// skip a job, in any interleaving.
+#[test]
+fn consecutive_epochs_never_skip_or_rerun() {
+    let report = model::check(|| {
+        let pool = Pool::new(2);
+        let total = Arc::new(AtomicUsize::new(0));
+        for _ in 0..2 {
+            let total = Arc::clone(&total);
+            pool.broadcast(move |_| {
+                // ordering: Relaxed — read back only after both
+                // broadcasts complete.
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // ordering: Relaxed — broadcasts are barriers.
+        assert_eq!(total.load(Ordering::Relaxed), 4);
+    });
+    println!("consecutive_epochs_never_skip_or_rerun: {report}");
+    assert!(report.executions >= 2, "explorer must branch: {report}");
+}
+
+/// The PR 5 serving-path claim: two caller threads driving one pool
+/// concurrently serialize through the gate, and each broadcast still
+/// runs exactly once per worker.
+#[test]
+fn concurrent_broadcasts_serialize_through_the_gate() {
+    let report = model::check(|| {
+        let pool = Arc::new(Pool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        let callers: Vec<_> = (0..2)
+            .map(|_| {
+                let (pool, total) = (Arc::clone(&pool), Arc::clone(&total));
+                lgr_sync::thread::spawn(move || {
+                    pool.broadcast(|_| {
+                        // ordering: Relaxed — read after joins below.
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                })
+            })
+            .collect();
+        for c in callers {
+            c.join().expect("callers do not fail");
+        }
+        // 2 broadcasts × 2 workers each.
+        // ordering: Relaxed — joins synchronized.
+        assert_eq!(total.load(Ordering::Relaxed), 4);
+    });
+    println!("concurrent_broadcasts_serialize_through_the_gate: {report}");
+    assert!(report.executions >= 2, "explorer must branch: {report}");
+}
+
+/// The panic-under-contention regression: a worker panic mid-broadcast
+/// must still complete the epoch (the caller resumes the payload), and
+/// the *next* broadcast on the same pool must succeed — under every
+/// interleaving. A lost `done`/`work` wakeup on the panic path would
+/// surface as a model deadlock.
+#[test]
+fn worker_panic_cannot_lose_a_wakeup() {
+    let report = model::check(|| {
+        let pool = Pool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(|w| {
+                if w == 1 {
+                    // resume_unwind (not panic!) keeps the global panic
+                    // hook quiet across thousands of explored schedules.
+                    std::panic::resume_unwind(Box::new("boom"));
+                }
+            });
+        }));
+        assert!(r.is_err(), "worker panic must surface to the caller");
+        // The pool survives: the next epoch completes everywhere.
+        let ok = AtomicUsize::new(0);
+        pool.broadcast(|_| {
+            // ordering: Relaxed — read after the broadcast barrier.
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.into_inner(), 2);
+    });
+    println!("worker_panic_cannot_lose_a_wakeup: {report}");
+    assert!(report.executions >= 2, "explorer must branch: {report}");
+}
+
+/// Dropping the pool while a worker may still be parked between
+/// epochs: the shutdown broadcast reaches every worker in every
+/// interleaving (no join ever hangs).
+#[test]
+fn shutdown_handshake_reaches_parked_workers() {
+    let report = model::check(|| {
+        let pool = Pool::new(2);
+        drop(pool);
+    });
+    println!("shutdown_handshake_reaches_parked_workers: {report}");
+    assert!(report.executions >= 1);
+}

@@ -12,12 +12,19 @@
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use lgr_engine::Session;
+use lgr_sync::{rank, Mutex, Rank};
 
 use crate::protocol::{handle_line, RequestPolicy};
+
+/// Batch-client locks are leaves in the workspace's global lock
+/// order (shard=100 < slot=200 < pool=300/310 < serve=400+): a batch
+/// worker never calls back into the engine while holding one.
+const BATCH_RESULTS_RANK: Rank = rank(400, "serve.batch.results");
+const BATCH_ERROR_RANK: Rank = rank(410, "serve.batch.first_error");
 
 /// Server knobs.
 #[derive(Debug, Clone, Copy)]
@@ -227,8 +234,12 @@ pub fn run_batch(
         return Ok(Vec::new());
     }
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<String>>> = Mutex::new(vec![None; jobs.len()]);
-    let first_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    // lgr_sync Mutexes recover from poison internally (counted in
+    // `lgr_sync::poison_recoveries`): a panicking batch worker must
+    // not cascade its panic into every sibling's result write.
+    let results: Mutex<Vec<Option<String>>> =
+        Mutex::ranked(BATCH_RESULTS_RANK, vec![None; jobs.len()]);
+    let first_error: Mutex<Option<std::io::Error>> = Mutex::ranked(BATCH_ERROR_RANK, None);
     std::thread::scope(|scope| {
         for _ in 0..concurrency.max(1).min(jobs.len()) {
             scope.spawn(|| {
@@ -237,6 +248,9 @@ pub fn run_batch(
                     let mut reader = BufReader::new(stream.try_clone()?);
                     let mut writer = BufWriter::new(stream);
                     loop {
+                        // ordering: Relaxed — job claiming only needs
+                        // the fetch_add's atomicity for unique indices;
+                        // result writes are ordered by their mutex.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(i) else {
                             return Ok(());
@@ -248,7 +262,7 @@ pub fn run_batch(
                         // requests for one expected response,
                         // misattributing every later response.
                         if job.trim().is_empty() || job.trim().contains('\n') {
-                            results.lock().unwrap()[i] = Some(crate::protocol::error_line(
+                            results.lock()[i] = Some(crate::protocol::error_line(
                                 "job must be a single non-empty line",
                             ));
                             continue;
@@ -264,21 +278,20 @@ pub fn run_batch(
                                 "server closed mid-batch",
                             ));
                         }
-                        results.lock().unwrap()[i] = Some(response.trim_end().to_owned());
+                        results.lock()[i] = Some(response.trim_end().to_owned());
                     }
                 };
                 if let Err(e) = worker() {
-                    first_error.lock().unwrap().get_or_insert(e);
+                    first_error.lock().get_or_insert(e);
                 }
             });
         }
     });
-    if let Some(e) = first_error.into_inner().unwrap() {
+    if let Some(e) = first_error.into_inner() {
         return Err(e);
     }
     Ok(results
         .into_inner()
-        .unwrap()
         .into_iter()
         .map(|r| r.expect("every job indexed by a worker"))
         .collect())

@@ -1,0 +1,267 @@
+//! Scheduler self-tests for the deterministic interleaving explorer
+//! (compiled only with `--features model`).
+//!
+//! Each test prints the [`Report`](lgr_sync::model::Report) so runs
+//! show explored-interleaving counts; floors are asserted so a
+//! regression to single-schedule exploration fails loudly.
+
+use std::sync::Arc;
+
+use lgr_sync::atomic::{AtomicU64, Ordering};
+use lgr_sync::model::{self, Config};
+use lgr_sync::{thread, Condvar, Mutex};
+
+fn panic_text(err: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = err.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = err.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        "non-string panic".to_owned()
+    }
+}
+
+/// Two threads incrementing under a Mutex: correct under every
+/// interleaving, and the explorer must actually branch.
+#[test]
+fn mutex_counter_is_race_free() {
+    let report = model::check(|| {
+        let counter = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || *c.lock() += 1)
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("model threads do not fail");
+        }
+        assert_eq!(*counter.lock(), 2);
+    });
+    println!("mutex_counter_is_race_free: {report}");
+    assert!(report.executions >= 2, "explorer must branch: {report}");
+}
+
+/// The classic lost update (load; store of load+1 without atomicity)
+/// must be found, with the schedule in the panic message.
+#[test]
+fn atomic_lost_update_is_found() {
+    let err = std::panic::catch_unwind(|| {
+        model::check(|| {
+            let v = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let v = Arc::clone(&v);
+                    thread::spawn(move || {
+                        // ordering: SeqCst — the bug under test is the
+                        // unfenced read-modify-write split, not ordering.
+                        let cur = v.load(Ordering::SeqCst);
+                        v.store(cur + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("model threads do not fail");
+            }
+            // ordering: SeqCst — final observation after joins.
+            assert_eq!(v.load(Ordering::SeqCst), 2, "lost update");
+        })
+    })
+    .expect_err("the lost update must be discovered");
+    let msg = panic_text(err);
+    assert!(msg.contains("model check failed"), "got: {msg}");
+    assert!(msg.contains("lost update"), "got: {msg}");
+    assert!(msg.contains("schedule:"), "got: {msg}");
+}
+
+/// An AB/BA lock cycle must surface as a reported deadlock, not a
+/// hang. (Unranked locks — the rank auditor would otherwise reject
+/// the cycle before the model gets to explore it.)
+#[test]
+fn ab_ba_deadlock_is_detected() {
+    let err = std::panic::catch_unwind(|| {
+        model::check(|| {
+            let a = Arc::new(Mutex::with_label("model.a", ()));
+            let b = Arc::new(Mutex::with_label("model.b", ()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+            let t2 = thread::spawn(move || {
+                let _gb = b3.lock();
+                let _ga = a3.lock();
+            });
+            let _ = t1.join();
+            let _ = t2.join();
+        })
+    })
+    .expect_err("the AB/BA cycle must be discovered");
+    let msg = panic_text(err);
+    assert!(msg.contains("deadlock"), "got: {msg}");
+    assert!(
+        msg.contains("model.a") || msg.contains("model.b"),
+        "got: {msg}"
+    );
+}
+
+/// A notify that can fire before the waiter parks, paired with an
+/// unconditional (predicate-free) wait: the model must find the
+/// schedule where the wakeup is lost forever.
+#[test]
+fn lost_wakeup_is_detected() {
+    let err = std::panic::catch_unwind(|| {
+        model::check(|| {
+            let pair = Arc::new((Mutex::with_label("model.flag", false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let waiter = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let g = m.lock();
+                // BUG (deliberate): no predicate loop.
+                let _g = cv.wait(g);
+            });
+            let (m, cv) = &*pair;
+            let mut g = m.lock();
+            *g = true;
+            cv.notify_one();
+            drop(g);
+            let _ = waiter.join();
+        })
+    })
+    .expect_err("the lost wakeup must be discovered");
+    let msg = panic_text(err);
+    assert!(msg.contains("lost wakeup"), "got: {msg}");
+}
+
+/// The same protocol written correctly (predicate loop) passes under
+/// every interleaving.
+#[test]
+fn predicate_loop_never_misses_wakeups() {
+    let report = model::check(|| {
+        let pair = Arc::new((Mutex::with_label("model.flag", false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let waiter = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                g = cv.wait(g);
+            }
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        *g = true;
+        cv.notify_one();
+        drop(g);
+        waiter.join().expect("waiter completes");
+    });
+    println!("predicate_loop_never_misses_wakeups: {report}");
+    assert!(report.executions >= 2, "explorer must branch: {report}");
+}
+
+/// Managed spawn/join round-trips the closure's return value.
+#[test]
+fn join_returns_thread_result() {
+    let report = model::check(|| {
+        let h = thread::spawn(|| 41 + 1);
+        assert_eq!(h.join().expect("no panic"), 42);
+    });
+    println!("join_returns_thread_result: {report}");
+    assert!(report.executions >= 1);
+}
+
+/// State-hash pruning keeps results identical (no false pass) while
+/// never exploring more than the exhaustive run.
+#[test]
+fn state_hashing_prunes_soundly_here() {
+    let run = |cfg: Config| {
+        model::check_with(cfg, || {
+            let counter = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    thread::spawn(move || *c.lock() += 1)
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("model threads do not fail");
+            }
+            assert_eq!(*counter.lock(), 2);
+        })
+    };
+    let full = run(Config::default());
+    let hashed = run(Config::default().hashed());
+    println!("state_hashing_prunes_soundly_here: full {full} · hashed {hashed}");
+    assert!(hashed.executions <= full.executions);
+}
+
+/// A rank inversion that only exists in one interleaving is still
+/// caught: the auditor runs inside the model, so exploration turns a
+/// latent ordering bug into a deterministic failure.
+#[test]
+fn auditor_catches_inversion_inside_model() {
+    let err = std::panic::catch_unwind(|| {
+        model::check(|| {
+            let low = Arc::new(Mutex::ranked(lgr_sync::rank(10, "model.low"), ()));
+            let high = Arc::new(Mutex::ranked(lgr_sync::rank(20, "model.high"), ()));
+            let (l2, h2) = (Arc::clone(&low), Arc::clone(&high));
+            let t = thread::spawn(move || {
+                let _g = h2.lock();
+                let _v = l2.lock(); // inversion
+            });
+            let _ = t.join();
+        })
+    })
+    .expect_err("inversion inside the model must fail the check");
+    let msg = panic_text(err);
+    assert!(msg.contains("lock-order violation"), "got: {msg}");
+}
+
+/// Exploration is bounded and reported: raising the preemption budget
+/// explores at least as many schedules.
+#[test]
+fn preemption_bound_scales_exploration() {
+    let run = |bound: usize| {
+        model::check_with(Config::with_preemptions(bound), || {
+            let v = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let v = Arc::clone(&v);
+                    thread::spawn(move || {
+                        // ordering: SeqCst — model exploration is SC;
+                        // the test only counts schedules.
+                        v.fetch_add(i + 1, Ordering::SeqCst);
+                        v.fetch_add(i + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("model threads do not fail");
+            }
+            // ordering: SeqCst — final observation after joins.
+            assert_eq!(v.load(Ordering::SeqCst), 6);
+        })
+    };
+    let tight = run(0);
+    let loose = run(3);
+    println!("preemption_bound_scales_exploration: p0 {tight} · p3 {loose}");
+    assert!(loose.executions > tight.executions, "p0 {tight} p3 {loose}");
+}
+
+/// Primitives created outside `model::check` must be rejected inside
+/// it (using them would stall the cooperative scheduler).
+#[test]
+fn outside_primitives_are_rejected() {
+    let stray = Arc::new(Mutex::new(0u32));
+    let err = std::panic::catch_unwind({
+        let stray = Arc::clone(&stray);
+        move || {
+            model::check(move || {
+                let _ = stray.lock();
+            })
+        }
+    })
+    .expect_err("stray primitive must be rejected");
+    let msg = panic_text(err);
+    assert!(msg.contains("created outside"), "got: {msg}");
+}
