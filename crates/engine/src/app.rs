@@ -168,7 +168,11 @@ impl FromStr for AppSpec {
             return Err(SpecError::Empty);
         }
         let segments: Vec<&str> = s.split(':').map(str::trim).collect();
-        let head = segments[0];
+        // `split` always yields at least one segment; destructure
+        // instead of indexing.
+        let Some((&head, rest)) = segments.split_first() else {
+            return Err(SpecError::Empty);
+        };
         let id = AppId::from_name(head).ok_or_else(|| SpecError::UnknownApp {
             token: head.to_owned(),
             valid: AppSpec::all()
@@ -177,7 +181,7 @@ impl FromStr for AppSpec {
                 .collect(),
         })?;
         let mut spec = AppSpec::new(id);
-        for token in &segments[1..] {
+        for token in rest {
             let (key, value) = match token.split_once('=') {
                 Some((k, v)) => (Some(k), v),
                 None => (None, *token),

@@ -567,12 +567,16 @@ fn reject_params(name: &str, params: &[Param<'_>]) -> Result<(), SpecError> {
 /// accepted head names (used by [`TechniqueRegistry::parse`](crate::TechniqueRegistry::parse)).
 fn parse_atom(atom: &str, custom_names: &[&str]) -> Result<TechniqueAtom, SpecError> {
     let segments: Vec<&str> = atom.split(':').map(str::trim).collect();
-    let head = segments[0];
+    // `split` always yields at least one segment; the destructure
+    // keeps that fact local instead of encoding it as an index.
+    let Some((&head, rest)) = segments.split_first() else {
+        return Err(SpecError::Empty);
+    };
     if head.is_empty() {
         return Err(SpecError::Empty);
     }
     let lower = head.to_ascii_lowercase();
-    let params = split_params(&segments[1..]);
+    let params = split_params(rest);
     match lower.as_str() {
         "orig" | "original" | "identity" | "none" => {
             reject_params("orig", &params)?;
@@ -660,7 +664,7 @@ fn parse_atom(atom: &str, custom_names: &[&str]) -> Result<TechniqueAtom, SpecEr
         }
         other if custom_names.contains(&other) => Ok(TechniqueAtom::Custom {
             name: other.to_owned(),
-            args: segments[1..].iter().map(|s| s.to_string()).collect(),
+            args: rest.iter().map(|s| s.to_string()).collect(),
         }),
         _ => {
             let mut valid: Vec<String> = BUILTIN_TECHNIQUES.iter().map(|s| s.to_string()).collect();

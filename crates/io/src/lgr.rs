@@ -45,6 +45,26 @@ pub const LGR_MAGIC: [u8; 8] = *b"LGRCSR01";
 const FLAG_WEIGHTED: u32 = 1;
 const HEADER_BYTES: usize = 40;
 
+/// Little-endian `u64` from up to 8 bytes, zero-padded on the high
+/// end. Callers pass exact 8-byte chunks; the pad makes this total so
+/// the hostile-input path has no panic site at all.
+fn le_u64(c: &[u8]) -> u64 {
+    let mut w = [0u8; 8];
+    for (slot, &b) in w.iter_mut().zip(c) {
+        *slot = b;
+    }
+    u64::from_le_bytes(w)
+}
+
+/// Little-endian `u32` from up to 4 bytes, zero-padded (see [`le_u64`]).
+fn le_u32(c: &[u8]) -> u32 {
+    let mut w = [0u8; 4];
+    for (slot, &b) in w.iter_mut().zip(c) {
+        *slot = b;
+    }
+    u32::from_le_bytes(w)
+}
+
 /// Folds the payload into a 64-bit digest, FNV-1a over whole `u64`
 /// words (with a byte-wise tail) so checksumming runs at memory
 /// bandwidth rather than byte-at-a-time speed.
@@ -54,7 +74,7 @@ fn checksum64(bytes: &[u8]) -> u64 {
     let mut h = OFFSET;
     let mut chunks = bytes.chunks_exact(8);
     for c in &mut chunks {
-        h ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h ^= le_u64(c);
         h = h.wrapping_mul(PRIME);
     }
     for &b in chunks.remainder() {
@@ -108,7 +128,7 @@ fn read_u32s(bytes: &[u8]) -> Vec<u32> {
         }
     } else {
         for (slot, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
-            *slot = u32::from_le_bytes(c.try_into().expect("4-byte chunk"));
+            *slot = le_u32(c);
         }
     }
     out
@@ -130,7 +150,7 @@ fn read_u64s(bytes: &[u8]) -> Result<Vec<usize>, IoError> {
         bytes
             .chunks_exact(8)
             .map(|c| {
-                let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+                let v = le_u64(c);
                 usize::try_from(v)
                     .map_err(|_| IoError::Format(format!("offset {v} overflows this platform")))
             })
@@ -169,8 +189,10 @@ pub fn lgr_to_bytes(csr: &Csr) -> Vec<u8> {
     bytes
 }
 
+/// A `u64` header field; a short slice (impossible after the length
+/// check, but provable only locally) reads as zero.
 fn header_u64(bytes: &[u8], offset: usize) -> u64 {
-    u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8-byte field"))
+    le_u64(bytes.get(offset..offset + 8).unwrap_or_default())
 }
 
 /// Deserializes `.lgr` bytes into a graph.
@@ -188,12 +210,12 @@ pub fn lgr_from_bytes(bytes: &[u8]) -> Result<Csr, IoError> {
             bytes.len()
         )));
     }
-    if bytes[..8] != LGR_MAGIC {
+    if !bytes.starts_with(&LGR_MAGIC) {
         return Err(IoError::Format(
             "not an .lgr file (bad magic or unsupported version)".to_owned(),
         ));
     }
-    let flags = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte field"));
+    let flags = le_u32(bytes.get(8..12).unwrap_or_default());
     if flags & !FLAG_WEIGHTED != 0 {
         return Err(IoError::Format(format!("unknown flag bits {flags:#x}")));
     }
@@ -226,7 +248,7 @@ pub fn lgr_from_bytes(bytes: &[u8]) -> Result<Csr, IoError> {
             "header promises an impossible size ({v} vertices, {e} edges)"
         )));
     };
-    let payload = &bytes[HEADER_BYTES..];
+    let payload = bytes.get(HEADER_BYTES..).unwrap_or_default();
     if payload.len() != expected {
         return Err(IoError::Format(format!(
             "payload is {} bytes but the header promises {expected} \
@@ -241,15 +263,18 @@ pub fn lgr_from_bytes(bytes: &[u8]) -> Result<Csr, IoError> {
     // `Csr::from_adjacency_parts` order.
     type SideParts = (Vec<usize>, Vec<VertexId>, Option<Vec<Weight>>);
     let mut off = 0usize;
+    let mut section = |len: usize| -> Result<&[u8], IoError> {
+        let s = payload
+            .get(off..off + len)
+            .ok_or_else(|| IoError::Format("payload section out of bounds".to_owned()))?;
+        off += len;
+        Ok(s)
+    };
     let mut side = || -> Result<SideParts, IoError> {
-        let index = read_u64s(&payload[off..off + index_bytes])?;
-        off += index_bytes;
-        let neighbors = read_u32s(&payload[off..off + edge_bytes]);
-        off += edge_bytes;
+        let index = read_u64s(section(index_bytes)?)?;
+        let neighbors = read_u32s(section(edge_bytes)?);
         let weights = if weighted {
-            let ws = read_u32s(&payload[off..off + edge_bytes]);
-            off += edge_bytes;
-            Some(ws)
+            Some(read_u32s(section(edge_bytes)?))
         } else {
             None
         };

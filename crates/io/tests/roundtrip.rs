@@ -82,6 +82,20 @@ proptest! {
         bytes[idx] ^= 1 << bit;
         prop_assert!(lgr_from_bytes(&bytes).is_err());
     }
+
+    /// Fully arbitrary bytes — including ones wearing a valid magic,
+    /// so the header/length-field logic runs — either parse or error;
+    /// they never panic. This is the dynamic half of the no-panic
+    /// contract `cargo xtask audit` proves statically for this file.
+    #[test]
+    fn arbitrary_bytes_never_panic(words in vec(0u32..256, 0..200), magic in 0u32..2) {
+        let mut raw: Vec<u8> = Vec::new();
+        if magic == 1 {
+            raw.extend_from_slice(b"LGRCSR01");
+        }
+        raw.extend(words.into_iter().map(|b| b as u8));
+        let _ = lgr_from_bytes(&raw);
+    }
 }
 
 #[test]

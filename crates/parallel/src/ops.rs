@@ -147,6 +147,14 @@ impl StableOffsets {
 /// Both the counting pass and the (column-strided) prefix merge run on
 /// the pool; only the `O(parts)` chunk-total prefix is sequential.
 ///
+/// # Safety argument for the internal `unsafe`
+///
+/// The prefix merge writes through [`SyncSlice`] without locks: each
+/// pool task owns a disjoint range of bins, and every cell it touches
+/// (`w * bins + b`, plus `bin_starts[b]`) is indexed by a bin `b`
+/// from its own range — tasks therefore never alias a cell, and both
+/// borrows end before the enclosing scope returns the vectors.
+///
 /// # Example
 ///
 /// ```

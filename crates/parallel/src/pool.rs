@@ -196,6 +196,14 @@ impl Pool {
     /// all workers finish; if `f` panics on a spawned worker, the
     /// first worker's original payload is re-raised here after the
     /// epoch completes (as a scoped spawn's `join` would).
+    ///
+    /// # Safety argument for the internal `unsafe`
+    ///
+    /// The job handed to workers is a type-erased `*const F` into this
+    /// frame; it cannot outlive `f` because `broadcast` blocks until
+    /// every worker has signalled completion of this epoch, and the
+    /// `gate` lock serializes epochs so no stale pointer is ever
+    /// re-dispatched.
     pub fn broadcast<F: Fn(usize) + Sync>(&self, f: F) {
         if self.workers.is_empty() {
             f(0);
@@ -261,6 +269,16 @@ impl Drop for Pool {
     }
 }
 
+/// The spawned workers' run loop: wait for an epoch bump, run the
+/// installed job, signal completion.
+///
+/// # Safety argument for the internal `unsafe`
+///
+/// The type-erased job pointer is dereferenced only between observing
+/// the epoch bump and decrementing `remaining` — the window in which
+/// the installing `broadcast` is still blocked, so the closure the
+/// pointer aliases is guaranteed alive (it cannot outlive its frame
+/// unobserved).
 fn worker_loop(shared: &Shared, index: usize) {
     let mut seen_epoch = 0u64;
     loop {

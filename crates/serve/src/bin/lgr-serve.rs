@@ -221,9 +221,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let local = listener
-                .local_addr()
-                .expect("bound listener has an address");
+            let local = match listener.local_addr() {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: cannot resolve listener address: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let session = Arc::new(Session::new(cfg));
             println!(
                 "lgr-serve listening on {local} ({workers} connection workers, {} pool threads)",
@@ -237,7 +241,14 @@ fn main() -> ExitCode {
                 workers,
                 allow_files,
             };
-            for handle in serve(listener, session, options) {
+            let handles = match serve(listener, session, options) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("error: cannot spawn connection workers: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for handle in handles {
                 let _ = handle.join();
             }
             ExitCode::SUCCESS
@@ -280,7 +291,12 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        _ => unreachable!("mode validated above"),
+        // Modes are validated during argument parsing; keep the
+        // fallback an orderly exit rather than a panic site anyway.
+        other => {
+            eprintln!("error: unknown mode `{other}`");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -288,11 +304,14 @@ fn main() -> ExitCode {
 /// `4096k`, `16m`, `1g` (case-insensitive).
 fn parse_bytes(s: &str) -> Result<u64, String> {
     let s = s.trim();
-    let (digits, mult) = match s.chars().last().map(|c| c.to_ascii_lowercase()) {
-        Some('k') => (&s[..s.len() - 1], 1u64 << 10),
-        Some('m') => (&s[..s.len() - 1], 1 << 20),
-        Some('g') => (&s[..s.len() - 1], 1 << 30),
-        _ => (s, 1),
+    let (digits, mult) = if let Some(d) = s.strip_suffix(['k', 'K']) {
+        (d, 1u64 << 10)
+    } else if let Some(d) = s.strip_suffix(['m', 'M']) {
+        (d, 1 << 20)
+    } else if let Some(d) = s.strip_suffix(['g', 'G']) {
+        (d, 1 << 30)
+    } else {
+        (s, 1)
     };
     digits
         .parse::<u64>()
@@ -335,5 +354,28 @@ fn usage(err: &str) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_bytes;
+
+    #[test]
+    fn byte_sizes_parse_with_optional_suffix() {
+        assert_eq!(parse_bytes("4096"), Ok(4096));
+        assert_eq!(parse_bytes("4k"), Ok(4 << 10));
+        assert_eq!(parse_bytes("4K"), Ok(4 << 10));
+        assert_eq!(parse_bytes(" 16m "), Ok(16 << 20));
+        assert_eq!(parse_bytes("1G"), Ok(1 << 30));
+    }
+
+    /// Regression for the converted `&s[..s.len() - 1]` sites: inputs
+    /// that once indexed out of a short string are clean errors.
+    #[test]
+    fn degenerate_byte_sizes_are_errors_not_panics() {
+        for bad in ["", "k", "K", "g", "-1k", "9x", "999999999999999999g"] {
+            assert!(parse_bytes(bad).is_err(), "{bad:?}");
+        }
     }
 }

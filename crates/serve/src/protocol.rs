@@ -196,13 +196,10 @@ pub fn handle_line(
 /// stats request (the `stats` key is present but wrong).
 fn stats_request(line: &str) -> Option<Result<(), String>> {
     let pairs = parse_flat_object(line).ok()?;
-    if !pairs.iter().any(|(k, _)| k == "stats") {
-        return None;
-    }
+    let (_, value) = pairs.iter().find(|(k, _)| k == "stats")?;
     if pairs.len() > 1 {
         return Some(Err("a stats request takes no other keys".to_owned()));
     }
-    let value = &pairs[0].1;
     Some(match value.to_ascii_lowercase().as_str() {
         "true" | "1" | "yes" => Ok(()),
         other => Err(format!("stats must be true, got `{other}`")),

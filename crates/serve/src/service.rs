@@ -58,11 +58,17 @@ impl Default for ServeOptions {
 /// line by line; a batch of up to `workers` clients is served fully
 /// concurrently, and further connections queue in the OS accept
 /// backlog.
+///
+/// # Errors
+///
+/// The OS refusing to spawn a worker thread (resource exhaustion) is
+/// returned rather than panicking; already-spawned workers keep
+/// running on the shared listener.
 pub fn serve(
     listener: TcpListener,
     session: Arc<Session>,
     options: ServeOptions,
-) -> Vec<JoinHandle<()>> {
+) -> std::io::Result<Vec<JoinHandle<()>>> {
     let listener = Arc::new(listener);
     (0..options.workers.max(1))
         .map(|i| {
@@ -115,7 +121,6 @@ pub fn serve(
                         }
                     }
                 })
-                .expect("spawning lgr-serve worker thread")
         })
         .collect()
 }
@@ -262,9 +267,11 @@ pub fn run_batch(
                         // requests for one expected response,
                         // misattributing every later response.
                         if job.trim().is_empty() || job.trim().contains('\n') {
-                            results.lock()[i] = Some(crate::protocol::error_line(
-                                "job must be a single non-empty line",
-                            ));
+                            if let Some(slot) = results.lock().get_mut(i) {
+                                *slot = Some(crate::protocol::error_line(
+                                    "job must be a single non-empty line",
+                                ));
+                            }
                             continue;
                         }
                         let line = prepare(job, canonical);
@@ -278,7 +285,9 @@ pub fn run_batch(
                                 "server closed mid-batch",
                             ));
                         }
-                        results.lock()[i] = Some(response.trim_end().to_owned());
+                        if let Some(slot) = results.lock().get_mut(i) {
+                            *slot = Some(response.trim_end().to_owned());
+                        }
                     }
                 };
                 if let Err(e) = worker() {
@@ -293,7 +302,12 @@ pub fn run_batch(
     Ok(results
         .into_inner()
         .into_iter()
-        .map(|r| r.expect("every job indexed by a worker"))
+        .map(|r| {
+            // Workers claim indices exhaustively, so every slot is
+            // filled on the success path; a hole (a worker died after
+            // claiming) still yields a well-formed error line.
+            r.unwrap_or_else(|| crate::protocol::error_line("worker abandoned job"))
+        })
         .collect())
 }
 

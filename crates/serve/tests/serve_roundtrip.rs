@@ -12,6 +12,14 @@ fn tiny_cfg() -> SessionConfig {
     SessionConfig::quick().with_scale_exp(10)
 }
 
+fn serve_ok(
+    listener: TcpListener,
+    session: Arc<Session>,
+    options: ServeOptions,
+) -> Vec<std::thread::JoinHandle<()>> {
+    serve(listener, session, options).expect("spawn serve workers")
+}
+
 fn job_lines() -> Vec<String> {
     [
         // Duplicates on purpose: the shared caches must coalesce them.
@@ -35,7 +43,7 @@ fn concurrent_batch_matches_the_sequential_reference_byte_for_byte() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().unwrap().to_string();
     let session = Arc::new(Session::new(tiny_cfg()));
-    let _workers = serve(
+    let _workers = serve_ok(
         listener,
         session,
         ServeOptions {
@@ -76,7 +84,7 @@ fn one_connection_can_pipeline_many_requests() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().unwrap().to_string();
     let session = Arc::new(Session::new(tiny_cfg()));
-    let _workers = serve(
+    let _workers = serve_ok(
         listener,
         session,
         ServeOptions {
@@ -99,7 +107,7 @@ fn overlong_request_lines_get_an_error_not_unbounded_memory() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().unwrap();
     let session = Arc::new(Session::new(tiny_cfg()));
-    let _workers = serve(
+    let _workers = serve_ok(
         listener,
         session,
         ServeOptions {
@@ -131,7 +139,7 @@ fn file_backed_specs_are_rejected_over_the_network_by_default() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().unwrap().to_string();
     let session = Arc::new(Session::new(tiny_cfg()));
-    let _workers = serve(
+    let _workers = serve_ok(
         listener,
         session,
         ServeOptions {
@@ -163,7 +171,7 @@ fn scale_overrides_above_the_server_config_are_rejected() {
     let addr = listener.local_addr().unwrap().to_string();
     // Server configured for 2^10 sd-vertices.
     let session = Arc::new(Session::new(tiny_cfg()));
-    let _workers = serve(
+    let _workers = serve_ok(
         listener,
         session,
         ServeOptions {
@@ -224,7 +232,7 @@ fn invalid_utf8_requests_error_and_the_connection_survives() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().unwrap();
     let session = Arc::new(Session::new(tiny_cfg()));
-    let _workers = serve(
+    let _workers = serve_ok(
         listener,
         session,
         ServeOptions {
@@ -266,7 +274,7 @@ fn a_stats_request_returns_the_cache_counters() {
     let mut cfg = tiny_cfg();
     cfg.cache_bytes = Some(64 * 1024);
     let session = Arc::new(Session::new(cfg));
-    let _workers = serve(
+    let _workers = serve_ok(
         listener,
         session,
         ServeOptions {

@@ -1,0 +1,545 @@
+//! `cargo xtask audit`: whole-workspace panic-reachability and
+//! unsafe-provenance analysis over the [`crate::callgraph`].
+//!
+//! ## Panic reachability
+//!
+//! Entry points are where untrusted bytes enter the process: every
+//! non-test function in `crates/serve/src` (connection handlers,
+//! protocol parsing, the `lgr-serve` binary), the four spec
+//! `FromStr` impls (`TechniqueSpec`, `AppSpec`, `DatasetSpec`,
+//! `SimConfig`), and `lgr-io`'s `.lgr` byte deserialization. A BFS
+//! over the call graph marks every function reachable from those
+//! roots; each gating panic site (`unwrap`/`expect`/panic-family
+//! macro/indexing — see [`crate::parser::PanicKind`]) inside a
+//! reached non-test function becomes a finding, aggregated per
+//! (file, function, kind) into a [`SiteGroup`] for the ratchet.
+//!
+//! Narrowing casts and bare arithmetic are tallied as informational
+//! counts only: release builds truncate/wrap instead of panicking,
+//! so gating on them would ratchet noise, not crash risk.
+//!
+//! ## Zero zones
+//!
+//! Files (or specific parse functions) where findings may **never**
+//! be ratcheted: the serve crate, `lgr-io`'s `.lgr` codec, and the
+//! spec-parsing functions of the engine/cachesim. A panic site there
+//! fails the audit even if someone adds a ratchet entry for it —
+//! the entry itself is rejected too.
+//!
+//! ## Unsafe provenance
+//!
+//! Every function in `crates/parallel`/`crates/sync` containing an
+//! `unsafe` block (or declared `unsafe fn`) must carry a doc/comment
+//! block stating its safety contract (disjointness, aliasing,
+//! lifetime, …); and every public safe wrapper over
+//! `SyncSlice`/`par_chunks_mut` in `crates/parallel` must be
+//! reachable from at least one test.
+
+use std::collections::HashMap;
+
+use crate::callgraph::Graph;
+use crate::parser::PanicKind;
+use crate::SourceFile;
+
+/// Selects entry-point functions: any non-test fn whose file starts
+/// with `file_prefix` and (when given) whose bare name equals
+/// `fn_name`.
+#[derive(Debug, Clone)]
+pub struct EntryPattern {
+    /// Workspace-relative path prefix.
+    pub file_prefix: String,
+    /// Bare function name; `None` = every non-test fn in the files.
+    pub fn_name: Option<String>,
+}
+
+/// A region whose findings can never be acknowledged in the ratchet.
+#[derive(Debug, Clone)]
+pub enum ZeroZone {
+    /// Every function in files under this path prefix.
+    Prefix(String),
+    /// Specific functions (by bare name or name prefix) in one file.
+    Fns {
+        /// Exact workspace-relative file path.
+        file: String,
+        /// Bare function names in the zone.
+        names: Vec<String>,
+        /// Bare-name prefixes in the zone (e.g. `parse_`).
+        name_prefixes: Vec<String>,
+    },
+}
+
+impl ZeroZone {
+    /// Whether the (file, bare fn name) pair falls in this zone.
+    pub fn covers(&self, file: &str, fn_name: &str) -> bool {
+        match self {
+            ZeroZone::Prefix(p) => file.starts_with(p.as_str()),
+            ZeroZone::Fns {
+                file: zf,
+                names,
+                name_prefixes,
+            } => {
+                file == zf
+                    && (names.iter().any(|n| n == fn_name)
+                        || name_prefixes
+                            .iter()
+                            .any(|p| fn_name.starts_with(p.as_str())))
+            }
+        }
+    }
+}
+
+/// Audit configuration; [`AuditConfig::default`] is the workspace's
+/// committed policy, tests substitute their own.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Untrusted entry points.
+    pub entries: Vec<EntryPattern>,
+    /// Regions that must stay ratchet-free.
+    pub zero_zones: Vec<ZeroZone>,
+    /// Path prefixes whose unsafe-containing fns need contract docs.
+    pub provenance_prefixes: Vec<String>,
+    /// Path prefixes whose pub `SyncSlice`/`par_chunks_mut` wrappers
+    /// need test coverage.
+    pub wrapper_prefixes: Vec<String>,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        let entry = |p: &str, f: Option<&str>| EntryPattern {
+            file_prefix: p.to_owned(),
+            fn_name: f.map(str::to_owned),
+        };
+        let parse_zone = |file: &str, extra: &[&str]| ZeroZone::Fns {
+            file: file.to_owned(),
+            names: std::iter::once("from_str")
+                .chain(extra.iter().copied())
+                .map(str::to_owned)
+                .collect(),
+            name_prefixes: vec!["parse_".to_owned()],
+        };
+        AuditConfig {
+            entries: vec![
+                entry("crates/serve/src", None),
+                entry("crates/engine/src/spec.rs", Some("from_str")),
+                entry("crates/engine/src/app.rs", Some("from_str")),
+                entry("crates/engine/src/dataset.rs", Some("from_str")),
+                entry("crates/cachesim/src/config.rs", Some("from_str")),
+                entry("crates/io/src/lgr.rs", Some("lgr_from_bytes")),
+                entry("crates/io/src/lgr.rs", Some("load_lgr")),
+            ],
+            zero_zones: vec![
+                ZeroZone::Prefix("crates/serve/src".to_owned()),
+                ZeroZone::Prefix("crates/io/src/lgr.rs".to_owned()),
+                parse_zone(
+                    "crates/engine/src/spec.rs",
+                    &["split_params", "reject_params"],
+                ),
+                parse_zone("crates/engine/src/app.rs", &[]),
+                parse_zone("crates/engine/src/dataset.rs", &["unknown_dataset"]),
+                parse_zone("crates/cachesim/src/config.rs", &[]),
+            ],
+            provenance_prefixes: vec![
+                "crates/parallel/src".to_owned(),
+                "crates/sync/src".to_owned(),
+            ],
+            wrapper_prefixes: vec!["crates/parallel/src".to_owned()],
+        }
+    }
+}
+
+/// Findings aggregated per (file, function, rule) — the unit the
+/// ratchet acknowledges.
+#[derive(Debug, Clone)]
+pub struct SiteGroup {
+    /// Workspace-relative file.
+    pub file: String,
+    /// `Type::name` display form.
+    pub fn_disp: String,
+    /// Bare function name (zero-zone matching).
+    pub fn_name: String,
+    /// Rule id: a [`PanicKind::name`], `unsafe-no-contract`, or
+    /// `wrapper-untested`.
+    pub rule: &'static str,
+    /// Offending lines (one per site).
+    pub lines: Vec<usize>,
+    /// First site's detail, for the report.
+    pub sample: String,
+    /// Falls inside a zero zone (never ratchetable).
+    pub zero_zone: bool,
+}
+
+impl SiteGroup {
+    /// Number of sites in the group.
+    pub fn count(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+/// Everything one audit run produces.
+pub struct AuditOutcome {
+    /// The call graph (for `--explain`).
+    pub graph: Graph,
+    /// Entry-reachability parent map (for `--explain`).
+    pub parent: Vec<Option<(usize, usize)>>,
+    /// Gating site groups, sorted by (file, fn, rule).
+    pub groups: Vec<SiteGroup>,
+    /// Informational summary lines.
+    pub info: Vec<String>,
+}
+
+/// Doc text satisfies the provenance rule when it states a contract.
+fn has_contract(doc: &str) -> bool {
+    let d = doc.to_ascii_lowercase();
+    [
+        "safety",
+        "disjoint",
+        "alias",
+        "exclusive",
+        "non-overlapping",
+        "overlap",
+        "outlive",
+    ]
+    .iter()
+    .any(|k| d.contains(k))
+}
+
+/// Runs both analyses over the given sources.
+pub fn run(files: &[SourceFile], cfg: &AuditConfig) -> AuditOutcome {
+    let graph = Graph::build(files);
+
+    // --- panic reachability -------------------------------------
+    let roots: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            !f.is_test
+                && cfg.entries.iter().any(|e| {
+                    f.file.starts_with(&e.file_prefix)
+                        && e.fn_name.as_deref().is_none_or(|n| n == f.name)
+                })
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let parent = graph.reach(&roots, false);
+
+    let mut by_key: HashMap<(String, String, &'static str), SiteGroup> = HashMap::new();
+    let mut info_counts: HashMap<PanicKind, usize> = HashMap::new();
+    let mut reachable = 0usize;
+    for (i, f) in graph.fns.iter().enumerate() {
+        if parent[i].is_none() || f.is_test {
+            continue;
+        }
+        reachable += 1;
+        for s in &f.panic_sites {
+            if !s.kind.gates() {
+                *info_counts.entry(s.kind).or_default() += 1;
+                continue;
+            }
+            let key = (f.file.clone(), f.display_name(), s.kind.name());
+            let g = by_key.entry(key).or_insert_with(|| SiteGroup {
+                file: f.file.clone(),
+                fn_disp: f.display_name(),
+                fn_name: f.name.clone(),
+                rule: s.kind.name(),
+                lines: Vec::new(),
+                sample: s.detail.clone(),
+                zero_zone: cfg.zero_zones.iter().any(|z| z.covers(&f.file, &f.name)),
+            });
+            g.lines.push(s.line);
+        }
+    }
+
+    // --- unsafe provenance --------------------------------------
+    for f in &graph.fns {
+        if f.is_test
+            || f.unsafe_lines.is_empty()
+            || !cfg
+                .provenance_prefixes
+                .iter()
+                .any(|p| f.file.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        if !has_contract(&f.doc) {
+            by_key.insert(
+                (f.file.clone(), f.display_name(), "unsafe-no-contract"),
+                SiteGroup {
+                    file: f.file.clone(),
+                    fn_disp: f.display_name(),
+                    fn_name: f.name.clone(),
+                    rule: "unsafe-no-contract",
+                    lines: f.unsafe_lines.clone(),
+                    sample: "fn contains `unsafe` but its doc states no \
+                             disjointness/aliasing/lifetime contract"
+                        .to_owned(),
+                    zero_zone: cfg.zero_zones.iter().any(|z| z.covers(&f.file, &f.name)),
+                },
+            );
+        }
+    }
+
+    // --- wrapper test coverage ----------------------------------
+    let test_roots: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.is_test)
+        .map(|(i, _)| i)
+        .collect();
+    let test_reach = graph.reach(&test_roots, true);
+    for (i, f) in graph.fns.iter().enumerate() {
+        let wraps_unsafe_core = f.body_idents.contains("SyncSlice")
+            || f.body_idents.contains("par_chunks_mut")
+            || f.var_types.values().any(|t| t == "SyncSlice");
+        if f.is_test
+            || !f.is_pub
+            || f.is_unsafe
+            || !wraps_unsafe_core
+            || !cfg
+                .wrapper_prefixes
+                .iter()
+                .any(|p| f.file.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        if test_reach[i].is_none() {
+            by_key.insert(
+                (f.file.clone(), f.display_name(), "wrapper-untested"),
+                SiteGroup {
+                    file: f.file.clone(),
+                    fn_disp: f.display_name(),
+                    fn_name: f.name.clone(),
+                    rule: "wrapper-untested",
+                    lines: vec![f.line],
+                    sample: "pub safe wrapper over SyncSlice/par_chunks_mut is reached by \
+                             no test"
+                        .to_owned(),
+                    zero_zone: false,
+                },
+            );
+        }
+    }
+
+    let mut groups: Vec<SiteGroup> = by_key.into_values().collect();
+    for g in &mut groups {
+        g.lines.sort_unstable();
+    }
+    groups.sort_by(|a, b| (&a.file, &a.fn_disp, a.rule).cmp(&(&b.file, &b.fn_disp, b.rule)));
+
+    let info = vec![
+        format!(
+            "entry points: {} fns; reachable: {reachable} non-test fns",
+            roots.len()
+        ),
+        format!(
+            "informational (release-safe, not gated): {} narrowing casts, {} bare arithmetic \
+             ops in reachable fns",
+            info_counts
+                .get(&PanicKind::CastNarrow)
+                .copied()
+                .unwrap_or(0),
+            info_counts.get(&PanicKind::Arith).copied().unwrap_or(0),
+        ),
+    ];
+
+    AuditOutcome {
+        graph,
+        parent,
+        groups,
+        info,
+    }
+}
+
+/// Renders the entry-point → panic-site call chain(s) for a query:
+/// a `file:line` of a panic site, a `Type::name`/bare function name,
+/// or any substring of either.
+pub fn explain(outcome: &AuditOutcome, query: &str) -> Vec<String> {
+    let g = &outcome.graph;
+    let mut out = Vec::new();
+    for (i, f) in g.fns.iter().enumerate() {
+        let matching_sites: Vec<_> = f
+            .panic_sites
+            .iter()
+            .filter(|s| s.kind.gates())
+            .filter(|s| {
+                format!("{}:{}", f.file, s.line) == query
+                    || f.display_name() == query
+                    || f.display_name().contains(query)
+                    || format!("{}:{}", f.file, s.line).starts_with(query)
+            })
+            .collect();
+        if matching_sites.is_empty() {
+            continue;
+        }
+        for s in &matching_sites {
+            out.push(format!(
+                "site {}:{} [{}] `{}` in {}",
+                f.file,
+                s.line,
+                s.kind.name(),
+                s.detail,
+                f.display_name()
+            ));
+        }
+        match outcome.parent[i] {
+            None => out.push("  not reachable from any audit entry point".to_owned()),
+            Some(_) => {
+                let chain = g.chain(&outcome.parent, i);
+                for (step, &(n, via)) in chain.iter().enumerate() {
+                    let fi = &g.fns[n];
+                    let role = if step == 0 { "entry" } else { "->" };
+                    let call = if via != 0 {
+                        format!(" (calls next at {}:{via})", fi.file)
+                    } else {
+                        String::new()
+                    };
+                    out.push(format!(
+                        "  {role} {}::{} [{}:{}]{call}",
+                        fi.file,
+                        fi.display_name(),
+                        fi.file,
+                        fi.line
+                    ));
+                }
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push(format!("no gating panic site matches `{query}`"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src_files(files: &[(&str, &str)]) -> Vec<SourceFile> {
+        files
+            .iter()
+            .map(|(rel, src)| SourceFile {
+                rel: (*rel).to_owned(),
+                src: (*src).to_owned(),
+            })
+            .collect()
+    }
+
+    fn cfg_with_entry(prefix: &str) -> AuditConfig {
+        AuditConfig {
+            entries: vec![EntryPattern {
+                file_prefix: prefix.to_owned(),
+                fn_name: Some("entry".to_owned()),
+            }],
+            zero_zones: vec![],
+            provenance_prefixes: vec![],
+            wrapper_prefixes: vec![],
+        }
+    }
+
+    #[test]
+    fn reachable_panic_sites_group_and_unreachable_ones_do_not() {
+        let files = src_files(&[(
+            "crates/a/src/lib.rs",
+            "\
+pub fn entry(v: &[u32]) { used(v); }
+fn used(v: &[u32]) -> u32 { v[0] }
+fn unused(v: &[u32]) -> u32 { v[1] }
+",
+        )]);
+        let out = run(&files, &cfg_with_entry("crates/a/src"));
+        let fns: Vec<&str> = out.groups.iter().map(|g| g.fn_disp.as_str()).collect();
+        assert_eq!(fns, vec!["used"]);
+        assert_eq!(out.groups[0].rule, "index");
+    }
+
+    #[test]
+    fn zero_zone_flag_follows_the_config() {
+        let files = src_files(&[(
+            "crates/a/src/lib.rs",
+            "pub fn entry(o: Option<u32>) -> u32 { o.unwrap() }",
+        )]);
+        let mut cfg = cfg_with_entry("crates/a/src");
+        cfg.zero_zones = vec![ZeroZone::Prefix("crates/a/src".to_owned())];
+        let out = run(&files, &cfg);
+        assert!(out.groups[0].zero_zone);
+    }
+
+    #[test]
+    fn fn_scoped_zero_zone_distinguishes_parse_fns() {
+        let zone = ZeroZone::Fns {
+            file: "crates/e/src/spec.rs".to_owned(),
+            names: vec!["from_str".to_owned()],
+            name_prefixes: vec!["parse_".to_owned()],
+        };
+        assert!(zone.covers("crates/e/src/spec.rs", "from_str"));
+        assert!(zone.covers("crates/e/src/spec.rs", "parse_atom"));
+        assert!(!zone.covers("crates/e/src/spec.rs", "from_atoms"));
+        assert!(!zone.covers("crates/e/src/other.rs", "from_str"));
+    }
+
+    #[test]
+    fn explain_prints_the_chain_from_entry_to_site() {
+        let files = src_files(&[(
+            "crates/a/src/lib.rs",
+            "\
+pub fn entry() { mid(); }
+fn mid() { deep(); }
+fn deep(o: Option<u32>) -> u32 { o.unwrap() }
+",
+        )]);
+        let out = run(&files, &cfg_with_entry("crates/a/src"));
+        let lines = explain(&out, "deep");
+        assert!(lines[0].contains("[unwrap]"));
+        assert!(lines.iter().any(|l| l.contains("entry")));
+        assert!(lines.iter().any(|l| l.contains("mid")));
+    }
+
+    #[test]
+    fn uncontracted_unsafe_and_untested_wrappers_are_flagged() {
+        let files = src_files(&[(
+            "crates/parallel/src/ops.rs",
+            "\
+/// Raw write.
+///
+/// # Safety
+/// Indices are disjoint across callers.
+pub unsafe fn raw_write() {}
+
+/// No contract stated here.
+pub fn sneaky(p: *mut u8) {
+    unsafe { *p = 0 };
+}
+
+/// Safe wrapper (covered by a test below).
+pub fn covered(s: &SyncSlice) { helper(s); }
+fn helper(s: &SyncSlice) {}
+
+/// Safe wrapper nothing tests.
+pub fn uncovered(s: &SyncSlice) {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { covered(s); }
+}
+",
+        )]);
+        let cfg = AuditConfig {
+            entries: vec![],
+            zero_zones: vec![],
+            provenance_prefixes: vec!["crates/parallel/src".to_owned()],
+            wrapper_prefixes: vec!["crates/parallel/src".to_owned()],
+        };
+        let out = run(&files, &cfg);
+        let rules: Vec<(&str, &str)> = out
+            .groups
+            .iter()
+            .map(|g| (g.fn_disp.as_str(), g.rule))
+            .collect();
+        assert!(rules.contains(&("sneaky", "unsafe-no-contract")));
+        assert!(rules.contains(&("uncovered", "wrapper-untested")));
+        assert!(!rules.iter().any(|(f, _)| *f == "raw_write"));
+        assert!(!rules.iter().any(|(f, _)| *f == "covered"));
+    }
+}

@@ -1,0 +1,345 @@
+//! Module-aware call graph over the parsed items, with conservative
+//! method-call resolution.
+//!
+//! ## Resolution heuristics (in order)
+//!
+//! * `Type::method(..)` → every workspace method `method` on a type
+//!   named `Type` (`Self::` maps to the enclosing impl's type). A
+//!   capitalized qualifier with **no** workspace match (e.g.
+//!   `String::from`) creates no edge: it is a std call, and closure
+//!   bodies are scanned inline as part of their enclosing function,
+//!   so callbacks passed to std (`map`, `retain`, `thread::spawn`)
+//!   are already attributed to the caller.
+//! * `self.method(..)` → `method` on the enclosing impl's type;
+//!   if that type doesn't define it (trait default, `Deref`), fan
+//!   out to every same-name workspace method.
+//! * `var.method(..)` → the variable's tracked type (from its `let`
+//!   annotation, `Type::…` initializer, or parameter type) when
+//!   known; otherwise fan out to every same-name workspace method.
+//! * `expr.method(..)` (field chains, call results, indexing) → fan
+//!   out to every same-name workspace method.
+//! * `.parse()` → every workspace `from_str`, plus every workspace
+//!   method named `parse`; `.parse::<T>()` narrows to `T::from_str`.
+//! * free `helper(..)` / `module::helper(..)` → every same-name free
+//!   function; no workspace match → no edge (std/builtin).
+//! * format-family macros (`format!`, `write!`, …) → implicit edges
+//!   to every workspace `fmt` method, modeling `Display`/`Debug`
+//!   dispatch.
+//!
+//! Everything unresolved **fans out** rather than dropping, so
+//! reachability over-approximates: the audit can claim "no panic
+//! site is reachable" but never proves one unreachable-in-truth site
+//! reachable… at the cost of false positives, which the ratchet
+//! absorbs. Known under-approximations, accepted and documented:
+//! `Iterator` desugaring of `for` loops (no `next()` edges — the
+//! loop body itself is scanned inline), `Drop::drop` at scope exit,
+//! and calls made *inside* macro expansions (macros are opaque; only
+//! their argument expressions are scanned).
+
+use std::collections::HashMap;
+
+use crate::parser::{parse_file, FnItem, Recv};
+use crate::SourceFile;
+
+/// An edge: callee item index plus the call-site line in the caller.
+pub type Edge = (usize, usize);
+
+/// The workspace call graph.
+pub struct Graph {
+    /// Every parsed `fn` item; indices are node ids.
+    pub fns: Vec<FnItem>,
+    /// `edges[i]` = calls out of `fns[i]`.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl Graph {
+    /// Parses every file and resolves calls into edges.
+    pub fn build(files: &[SourceFile]) -> Graph {
+        let mut fns = Vec::new();
+        for f in files {
+            fns.extend(parse_file(&f.rel, &f.src));
+        }
+
+        // Name indices.
+        let mut methods_by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut methods_by_ty: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
+        let mut free_by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut from_str_all: Vec<usize> = Vec::new();
+        let mut fmt_all: Vec<usize> = Vec::new();
+        for (i, f) in fns.iter().enumerate() {
+            match &f.self_ty {
+                Some(ty) => {
+                    methods_by_name.entry(&f.name).or_default().push(i);
+                    methods_by_ty
+                        .entry((ty.as_str(), &f.name))
+                        .or_default()
+                        .push(i);
+                    if f.name == "fmt" {
+                        fmt_all.push(i);
+                    }
+                }
+                None => free_by_name.entry(&f.name).or_default().push(i),
+            }
+            if f.name == "from_str" {
+                from_str_all.push(i);
+            }
+        }
+        let on_type = |ty: &str, name: &str| -> Vec<usize> {
+            methods_by_ty.get(&(ty, name)).cloned().unwrap_or_default()
+        };
+        let fan_out =
+            |name: &str| -> Vec<usize> { methods_by_name.get(name).cloned().unwrap_or_default() };
+
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); fns.len()];
+        for (i, f) in fns.iter().enumerate() {
+            let mut out: Vec<Edge> = Vec::new();
+            for c in &f.calls {
+                let line = c.line;
+                if c.name == "parse" {
+                    // `.parse()` dispatches through `FromStr`.
+                    let narrowed = c.turbofish.as_deref().map(|ty| on_type(ty, "from_str"));
+                    let targets: Vec<usize> = match narrowed {
+                        Some(t) if !t.is_empty() => t,
+                        _ => {
+                            let mut t = from_str_all.clone();
+                            t.extend(fan_out("parse"));
+                            t
+                        }
+                    };
+                    out.extend(targets.into_iter().map(|t| (t, line)));
+                    continue;
+                }
+                match &c.recv {
+                    Recv::Path(ty) => {
+                        let ty = if ty == "Self" {
+                            f.self_ty.as_deref().unwrap_or("Self")
+                        } else {
+                            ty.as_str()
+                        };
+                        out.extend(on_type(ty, &c.name).into_iter().map(|t| (t, line)));
+                    }
+                    Recv::SelfRecv => {
+                        let direct = f
+                            .self_ty
+                            .as_deref()
+                            .map(|ty| on_type(ty, &c.name))
+                            .unwrap_or_default();
+                        if direct.is_empty() {
+                            out.extend(fan_out(&c.name).into_iter().map(|t| (t, line)));
+                        } else {
+                            out.extend(direct.into_iter().map(|t| (t, line)));
+                        }
+                    }
+                    Recv::Var(v) => {
+                        let known = f
+                            .var_types
+                            .get(v)
+                            .map(|ty| on_type(ty, &c.name))
+                            .unwrap_or_default();
+                        if known.is_empty() {
+                            out.extend(fan_out(&c.name).into_iter().map(|t| (t, line)));
+                        } else {
+                            out.extend(known.into_iter().map(|t| (t, line)));
+                        }
+                    }
+                    Recv::Expr => {
+                        out.extend(fan_out(&c.name).into_iter().map(|t| (t, line)));
+                    }
+                    Recv::None => {
+                        out.extend(
+                            free_by_name
+                                .get(c.name.as_str())
+                                .map(Vec::as_slice)
+                                .unwrap_or(&[])
+                                .iter()
+                                .map(|&t| (t, line)),
+                        );
+                    }
+                }
+            }
+            if f.uses_format {
+                out.extend(fmt_all.iter().map(|&t| (t, f.line)));
+            }
+            out.sort_unstable();
+            out.dedup();
+            edges[i] = out;
+        }
+
+        Graph { fns, edges }
+    }
+
+    /// BFS from `roots`, optionally refusing to traverse test items.
+    /// Returns `parent[i] = Some((caller, call_line))` for every
+    /// reached node (roots have `parent = Some((i, 0))`), `None` for
+    /// unreached ones.
+    pub fn reach(&self, roots: &[usize], through_tests: bool) -> Vec<Option<(usize, usize)>> {
+        let mut parent: Vec<Option<(usize, usize)>> = vec![None; self.fns.len()];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &r in roots {
+            if parent[r].is_none() {
+                parent[r] = Some((r, 0));
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &(v, line) in &self.edges[u] {
+                if parent[v].is_none() && (through_tests || !self.fns[v].is_test) {
+                    parent[v] = Some((u, line));
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call chain root → … → `target`, as (node, call-line into
+    /// the next hop) pairs, given a parent map from [`Graph::reach`].
+    pub fn chain(&self, parent: &[Option<(usize, usize)>], target: usize) -> Vec<(usize, usize)> {
+        let mut rev = Vec::new();
+        let mut cur = target;
+        let mut via = 0;
+        loop {
+            rev.push((cur, via));
+            match parent[cur] {
+                Some((p, line)) if p != cur => {
+                    via = line;
+                    cur = p;
+                }
+                _ => break,
+            }
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(files: &[(&str, &str)]) -> Graph {
+        let files: Vec<SourceFile> = files
+            .iter()
+            .map(|(rel, src)| SourceFile {
+                rel: (*rel).to_owned(),
+                src: (*src).to_owned(),
+            })
+            .collect();
+        Graph::build(&files)
+    }
+
+    fn idx(g: &Graph, disp: &str) -> usize {
+        g.fns
+            .iter()
+            .position(|f| f.display_name() == disp)
+            .unwrap_or_else(|| panic!("no fn {disp}"))
+    }
+
+    fn has_edge(g: &Graph, from: &str, to: &str) -> bool {
+        let (f, t) = (idx(g, from), idx(g, to));
+        g.edges[f].iter().any(|&(v, _)| v == t)
+    }
+
+    #[test]
+    fn typed_paths_resolve_and_std_paths_create_no_edges() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "\
+pub struct Cfg;
+impl Cfg {
+    pub fn load() { Cfg::validate(); String::from(\"x\"); }
+    pub fn validate() {}
+}
+",
+        )]);
+        assert!(has_edge(&g, "Cfg::load", "Cfg::validate"));
+        // `String::from` resolves to nothing in-workspace: no edge.
+        let load = idx(&g, "Cfg::load");
+        assert_eq!(g.edges[load].len(), 1);
+    }
+
+    #[test]
+    fn unknown_receivers_fan_out_to_all_same_name_methods() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "\
+struct A; struct B;
+impl A { fn go(&self) {} }
+impl B { fn go(&self) {} }
+fn driver(x: &dyn Go) { x.go(); }
+",
+        )]);
+        // `x`'s type is the trait-object `Go` — unknown: both impls.
+        assert!(has_edge(&g, "driver", "A::go"));
+        assert!(has_edge(&g, "driver", "B::go"));
+    }
+
+    #[test]
+    fn tracked_var_types_narrow_the_fan_out() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "\
+struct A; struct B;
+impl A { fn go(&self) {} }
+impl B { fn go(&self) {} }
+fn driver() { let a = A::default(); a.go(); }
+",
+        )]);
+        assert!(has_edge(&g, "driver", "A::go"));
+        assert!(!has_edge(&g, "driver", "B::go"));
+    }
+
+    #[test]
+    fn parse_calls_dispatch_to_from_str_with_turbofish_narrowing() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "\
+struct X; struct Y;
+impl FromStr for X { fn from_str(s: &str) -> Result<Self, E> { Ok(X) } }
+impl FromStr for Y { fn from_str(s: &str) -> Result<Self, E> { Ok(Y) } }
+fn wide(s: &str) { s.parse(); }
+fn narrow(s: &str) { s.parse::<X>(); }
+",
+        )]);
+        assert!(has_edge(&g, "wide", "X::from_str"));
+        assert!(has_edge(&g, "wide", "Y::from_str"));
+        assert!(has_edge(&g, "narrow", "X::from_str"));
+        assert!(!has_edge(&g, "narrow", "Y::from_str"));
+    }
+
+    #[test]
+    fn format_macros_imply_fmt_edges() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "\
+struct E;
+impl Display for E { fn fmt(&self, f: &mut F) -> R { todo!() } }
+fn render(e: &E) -> String { format!(\"{e}\") }
+",
+        )]);
+        assert!(has_edge(&g, "render", "E::fmt"));
+    }
+
+    #[test]
+    fn reachability_chains_are_reconstructible() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "\
+fn entry() { mid(); }
+fn mid() { leaf(); }
+fn leaf() { other(); }
+fn island() {}
+",
+        )]);
+        let roots = vec![idx(&g, "entry")];
+        let parent = g.reach(&roots, false);
+        assert!(parent[idx(&g, "leaf")].is_some());
+        assert!(parent[idx(&g, "island")].is_none());
+        let chain = g.chain(&parent, idx(&g, "leaf"));
+        let names: Vec<String> = chain
+            .iter()
+            .map(|&(n, _)| g.fns[n].display_name())
+            .collect();
+        assert_eq!(names, vec!["entry", "mid", "leaf"]);
+    }
+}

@@ -1,0 +1,302 @@
+//! A hand-rolled Rust lexer, precise enough for static analysis over
+//! this workspace: comments (line + nested block, text retained so doc
+//! comments can be inspected), strings (escaped, raw `r#"…"#`, byte),
+//! char literals vs lifetimes, identifiers, numbers, and single-char
+//! punctuation. Every token carries its 1-based source line.
+//!
+//! Both the token-level lint rules ([`crate::lint`]) and the item-level
+//! parser ([`crate::parser`]) run on this stream, so a keyword inside a
+//! string or a `lock()` in a comment never influences an analysis.
+
+/// One lexed token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (multi-char operators arrive as
+    /// adjacent tokens: `::` is two `:` puncts).
+    Punct(char),
+    /// `//…` or `/*…*/`, raw text included (doc comments are
+    /// recognized downstream by their `///`/`//!`/`/**` prefix).
+    Comment(String),
+    /// A string literal (escaped, raw, or byte).
+    Str,
+    /// A char or byte-char literal.
+    Char,
+    /// A lifetime (`'a`).
+    Lifetime,
+    /// A numeric literal.
+    Number,
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug)]
+pub struct Token {
+    /// The token kind (and payload).
+    pub tok: Tok,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+/// The identifier text of a token, if it is one.
+pub fn ident(t: &Token) -> Option<&str> {
+    match &t.tok {
+        Tok::Ident(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Whether a token is the given punctuation character.
+pub fn is_punct(t: &Token, c: char) -> bool {
+    t.tok == Tok::Punct(c)
+}
+
+/// Tokenizes Rust source. See the module docs for the supported
+/// constructs; unrecognized bytes become single-char [`Tok::Punct`]s.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start_line = line;
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Comment(src[start..i].to_owned()),
+                    line: start_line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Token {
+                    tok: Tok::Comment(src[start..i].to_owned()),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let start = line;
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Token {
+                    tok: Tok::Str,
+                    line: start,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let is_lifetime = b
+                    .get(i + 1)
+                    .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_')
+                    && b.get(i + 2) != Some(&b'\'');
+                if is_lifetime {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    toks.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                } else {
+                    let start = line;
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    toks.push(Token {
+                        tok: Tok::Char,
+                        line: start,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // Raw/byte string prefixes: `r"…"`, `r#"…"#`, `b"…"`,
+                // `br#"…"#`; `b'…'` byte chars are handled below.
+                let next = b.get(i).copied();
+                if matches!(ident, "r" | "b" | "br") && matches!(next, Some(b'"') | Some(b'#')) {
+                    let start_line = line;
+                    let mut hashes = 0;
+                    while b.get(i) == Some(&b'#') {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if b.get(i) == Some(&b'"') {
+                        i += 1;
+                        'raw: while i < b.len() {
+                            if b[i] == b'\n' {
+                                line += 1;
+                                i += 1;
+                            } else if b[i] == b'"' {
+                                let mut j = 0;
+                                while j < hashes && b.get(i + 1 + j) == Some(&b'#') {
+                                    j += 1;
+                                }
+                                if j == hashes {
+                                    i += 1 + hashes;
+                                    break 'raw;
+                                }
+                                i += 1;
+                            } else if hashes == 0 && ident == "b" && b[i] == b'\\' {
+                                // `b"…"` still processes escapes.
+                                i += 2;
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        toks.push(Token {
+                            tok: Tok::Str,
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                    // `r#ident` raw identifier: rewind the hashes and
+                    // fall through to emit the ident.
+                    i -= hashes;
+                }
+                if ident == "b" && next == Some(&b'\'').copied() {
+                    // Byte char literal `b'x'`.
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    toks.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                    continue;
+                }
+                toks.push(Token {
+                    tok: Tok::Ident(ident.to_owned()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                // A fractional part, but not the start of `..`.
+                if b.get(i) == Some(&b'.') && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                toks.push(Token {
+                    tok: Tok::Number,
+                    line,
+                });
+            }
+            c => {
+                toks.push(Token {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_ignores_tokens_inside_strings_and_comments() {
+        let toks = lex(r##"let s = "unsafe // not a comment"; // unsafe in comment
+let r = r#"std::sync::Mutex"#; /* unsafe /* nested */ still comment */
+let c = 'x'; let lt: &'static str = "";"##);
+        assert!(toks
+            .iter()
+            .all(|t| ident(t) != Some("unsafe") && ident(t) != Some("Mutex")));
+        assert!(toks.iter().any(|t| t.tok == Tok::Lifetime));
+        assert!(toks.iter().any(|t| t.tok == Tok::Char));
+    }
+
+    #[test]
+    fn lexer_counts_lines_through_multiline_constructs() {
+        let toks = lex("/* a\nb */\nfn f() {}\n\"x\ny\"\nlet q = 1;");
+        let f = toks.iter().find(|t| ident(t) == Some("fn")).unwrap();
+        assert_eq!(f.line, 3);
+        let q = toks.iter().find(|t| ident(t) == Some("q")).unwrap();
+        assert_eq!(q.line, 6);
+    }
+
+    #[test]
+    fn comments_keep_their_text() {
+        let toks = lex("/// doc line\nfn f() {} // trailing\n/* block */");
+        let texts: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Comment(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(texts, vec!["/// doc line", "// trailing", "/* block */"]);
+    }
+}

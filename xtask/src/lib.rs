@@ -1,0 +1,125 @@
+//! Workspace static analysis, invoked as `cargo xtask <command>`.
+//!
+//! Two passes share the hand-rolled lexer in [`lexer`]:
+//!
+//! * [`lint`] — token-level, file-local concurrency-hygiene rules
+//!   (`cargo xtask lint`). Zero waivers.
+//! * [`audit`] — whole-workspace call-graph analysis
+//!   (`cargo xtask audit`): panic-site reachability from untrusted
+//!   entry points and unsafe-provenance checks, gated by a committed
+//!   ratchet file ([`ratchet`]).
+//!
+//! The crate is a library so the analyzer can be driven by
+//! integration tests against fixture crates and against modified
+//! overlays of the real workspace sources; `src/main.rs` is a thin
+//! CLI over these modules.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod audit;
+pub mod callgraph;
+pub mod lexer;
+pub mod lint;
+pub mod parser;
+pub mod ratchet;
+
+/// One analyzer result: a location plus a rule identifier and a
+/// human-readable message. Both `lint` and `audit` report these.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub path: PathBuf,
+    /// 1-based source line.
+    pub line: usize,
+    /// Stable rule identifier (used in ratchet entries).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// A source file handed to the analyzers: workspace-relative path
+/// (forward slashes) plus contents. Tests build these in memory;
+/// the CLI loads them from disk via [`load_sources`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated (e.g.
+    /// `crates/serve/src/protocol.rs`).
+    pub rel: String,
+    /// Full file contents.
+    pub src: String,
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR` is `<root>/xtask`.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .expect("xtask sits directly under the workspace root")
+        .to_path_buf()
+}
+
+/// Recursively collects `.rs` files under `dir`.
+pub fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Loads the sources the **audit** pass analyzes: every `.rs` file
+/// under `crates/*/src`, `crates/*/tests`, and the facade crate's
+/// `src/`. `xtask` itself and the `shims/` stand-ins are excluded on
+/// purpose — neither is linked into the shipped binaries' untrusted
+/// request path (xtask is a dev tool; shims are offline test-dep
+/// stand-ins), and their parser-style code would drown the ratchet
+/// in irrelevant sites.
+pub fn load_sources(root: &Path) -> Vec<SourceFile> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            dirs.push(e.path().join("src"));
+            dirs.push(e.path().join("tests"));
+        }
+    }
+    dirs.push(root.join("src"));
+    let mut files = Vec::new();
+    for d in dirs {
+        collect_rs(&d, &mut files);
+    }
+    files.sort();
+    files
+        .into_iter()
+        .filter_map(|path| {
+            let src = std::fs::read_to_string(&path).ok()?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            Some(SourceFile { rel, src })
+        })
+        .collect()
+}

@@ -1,0 +1,649 @@
+//! Token-level concurrency-hygiene lint (`cargo xtask lint`).
+//!
+//! File-local rules that `rustc` and `clippy` don't enforce:
+//!
+//! | rule | scope | requirement |
+//! |------|-------|-------------|
+//! | `unsafe-needs-safety` | all sources | every `unsafe` is preceded by a `// SAFETY:` comment (or `# Safety` doc section); a comment covers a run of adjacent `unsafe impl` lines |
+//! | `no-std-sync-locks` | engine, parallel, serve | no direct `std::sync` `Mutex`/`RwLock`/`Condvar`/guard/`PoisonError` paths — these crates are ported to `lgr-sync` (audited, poison-recovering) primitives |
+//! | `no-lock-result-unwrap` | engine, parallel, serve | no `.unwrap()`/`.expect(..)` directly on a `lock()`/`read()`/`write()`/`wait(..)`/`try_lock()` result; poison is discharged inside `lgr-sync::recover` only |
+//! | `no-clock-under-lock` | engine, parallel, serve | no `Instant::now()` while a named lock guard is live in the enclosing scope |
+//! | `ordering-needs-comment` | engine, parallel, serve, sync | every `Ordering::X` use in non-test code carries a nearby `// ordering:` justification |
+//!
+//! Rules match real tokens — an `unsafe` inside a string or a
+//! `lock()` in a comment never fires. `#[cfg(test)]` modules are
+//! exempt from the style rules (but not `unsafe-needs-safety`).
+//! Findings print as `path:line: [rule] message` and a non-empty set
+//! exits 1, which is how CI gates on it. For the whole-workspace
+//! call-graph analysis, see [`crate::audit`].
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{ident, is_punct, lex, Tok, Token};
+use crate::Finding;
+
+/// Crates ported to `lgr-sync` primitives: the lock-discipline rules
+/// apply to their `src` trees.
+const PORTED: &[&str] = &["crates/engine", "crates/parallel", "crates/serve"];
+
+/// Lints every `.rs` file under `crates/*/src`, the facade `src/`,
+/// and `xtask/src`.
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            dirs.push(e.path().join("src"));
+        }
+    }
+    dirs.push(root.join("src"));
+    dirs.push(root.join("xtask").join("src"));
+    for d in dirs {
+        crate::collect_rs(&d, &mut files);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for path in files {
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let ported = PORTED.iter().any(|p| rel.starts_with(p));
+        let in_sync = rel.starts_with("crates/sync");
+        for mut f in lint_file(&src, ported, ported || in_sync) {
+            f.path = rel.to_path_buf();
+            findings.push(f);
+        }
+    }
+    findings
+}
+
+/// Lints one file. `ported` enables the lock-discipline rules;
+/// `ordered` enables the ordering-comment rule.
+pub fn lint_file(src: &str, ported: bool, ordered: bool) -> Vec<Finding> {
+    let tokens = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    // Structural rules work on code tokens only (comments carry no
+    // syntax); line-based rules consult `lines` directly.
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.tok, Tok::Comment(_)))
+        .collect();
+    let test_lines = cfg_test_lines(&code);
+
+    let mut out = Vec::new();
+    rule_unsafe_needs_safety(&code, &lines, &mut out);
+    if ported {
+        rule_no_std_sync_locks(&code, &test_lines, &mut out);
+        rule_no_lock_result_unwrap(&code, &test_lines, &mut out);
+        rule_no_clock_under_lock(&code, &test_lines, &mut out);
+    }
+    if ordered {
+        rule_ordering_needs_comment(&code, &lines, &test_lines, &mut out);
+    }
+    out
+}
+
+// ----------------------------------------------- #[cfg(test)] masking
+
+/// Line ranges covered by `#[cfg(test)] mod … { … }` blocks; the
+/// lock-discipline rules skip them (tests may use std locks, unwrap
+/// freely, and spin up ad-hoc atomics).
+pub fn cfg_test_lines(code: &[&Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 4 < code.len() {
+        let is_cfg_test = is_punct(code[i], '#')
+            && is_punct(code[i + 1], '[')
+            && ident(code[i + 2]) == Some("cfg")
+            && is_punct(code[i + 3], '(')
+            && ident(code[i + 4]) == Some("test");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip to the attribute's closing `]`, then require `mod`.
+        let mut j = i + 5;
+        let mut bracket = 1;
+        while j < code.len() && bracket > 0 {
+            if is_punct(code[j], '[') {
+                bracket += 1;
+            } else if is_punct(code[j], ']') {
+                bracket -= 1;
+            }
+            j += 1;
+        }
+        if code.get(j).and_then(|t| ident(t)) != Some("mod") {
+            i = j;
+            continue;
+        }
+        // Find the module's `{ … }` extent.
+        while j < code.len() && !is_punct(code[j], '{') {
+            j += 1;
+        }
+        let start_line = code[i].line;
+        let mut depth = 0;
+        while j < code.len() {
+            if is_punct(code[j], '{') {
+                depth += 1;
+            } else if is_punct(code[j], '}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let end_line = code.get(j).map_or(usize::MAX, |t| t.line);
+        ranges.push((start_line, end_line));
+        i = j + 1;
+    }
+    ranges
+}
+
+/// Whether `line` falls inside any of the `ranges`.
+pub fn in_test(line: usize, ranges: &[(usize, usize)]) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+// ------------------------------------------------------------- rule R1
+
+fn is_comment_line(l: &str) -> bool {
+    let t = l.trim_start();
+    t.starts_with("//") || t.starts_with("/*") || t.starts_with('*')
+}
+
+fn comment_has_safety(l: &str) -> bool {
+    l.contains("SAFETY:") || l.contains("# Safety")
+}
+
+/// Every `unsafe` token needs a `// SAFETY:` (or `# Safety` doc
+/// section) in the contiguous comment/attribute block above it. A
+/// single comment covers a run of adjacent `unsafe impl` lines — the
+/// common `Send`+`Sync` pair shares one justification.
+fn rule_unsafe_needs_safety(code: &[&Token], lines: &[&str], out: &mut Vec<Finding>) {
+    for t in code {
+        if ident(t) != Some("unsafe") {
+            continue;
+        }
+        let line0 = t.line - 1; // 0-based index into `lines`
+        let cut = lines[line0].find("unsafe").unwrap_or(lines[line0].len());
+        let mut ok = lines[line0][..cut].contains("SAFETY:");
+        let mut l = line0;
+        while !ok && l > 0 {
+            l -= 1;
+            let text = lines[l];
+            let trimmed = text.trim_start();
+            if is_comment_line(text) {
+                if comment_has_safety(text) {
+                    ok = true;
+                }
+                continue;
+            }
+            if trimmed.is_empty()
+                || trimmed.starts_with("#[")
+                || trimmed.starts_with(")]")
+                // The group rule: scan through an adjacent, already
+                // justified `unsafe impl` line to its shared comment.
+                || trimmed.starts_with("unsafe impl")
+            {
+                continue;
+            }
+            // A line that doesn't close a statement or block is this
+            // statement's own earlier half (`let bytes =` above an
+            // `unsafe {…}` continuation) — keep climbing to the
+            // comment above the statement.
+            let t = text.trim_end();
+            if !(t.ends_with(';') || t.ends_with('{') || t.ends_with('}')) {
+                continue;
+            }
+            break;
+        }
+        if !ok {
+            out.push(Finding {
+                path: PathBuf::new(),
+                line: t.line,
+                rule: "unsafe-needs-safety",
+                message: "`unsafe` without a preceding `// SAFETY:` comment (or `# Safety` doc)"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+// ------------------------------------------------------------- rule R2
+
+const BANNED_SYNC: &[&str] = &[
+    "Mutex",
+    "MutexGuard",
+    "RwLock",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+    "Condvar",
+    "PoisonError",
+    "LockResult",
+    "TryLockError",
+];
+
+/// Ported crates must not name `std::sync` lock types — neither via
+/// `use std::sync::{…}` nor inline paths. `Arc`, atomics, `Barrier`,
+/// `mpsc`, and `Once` remain fine.
+fn rule_no_std_sync_locks(code: &[&Token], test: &[(usize, usize)], out: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i + 4 < code.len() {
+        let hit = ident(code[i]) == Some("std")
+            && is_punct(code[i + 1], ':')
+            && is_punct(code[i + 2], ':')
+            && ident(code[i + 3]) == Some("sync");
+        if !hit {
+            i += 1;
+            continue;
+        }
+        // Walk the rest of the path / use-tree and collect idents.
+        let mut j = i + 4;
+        while j < code.len() {
+            match &code[j].tok {
+                Tok::Punct(':') | Tok::Punct('{') | Tok::Punct('}') | Tok::Punct(',') => j += 1,
+                Tok::Ident(name) => {
+                    if BANNED_SYNC.contains(&name.as_str()) && !in_test(code[j].line, test) {
+                        out.push(Finding {
+                            path: PathBuf::new(),
+                            line: code[j].line,
+                            rule: "no-std-sync-locks",
+                            message: format!(
+                                "`std::sync::{name}` in a crate ported to lgr-sync — use the \
+                                 audited `lgr_sync::{name}` instead"
+                            ),
+                        });
+                    }
+                    j += 1;
+                }
+                _ => break,
+            }
+        }
+        i = j;
+    }
+}
+
+// ------------------------------------------------------------- rule R3
+
+/// Methods whose `Result` is lock-shaped: unwrapping one panics on
+/// poison. Shared with the audit pass, which *excludes* these chains
+/// from its `unwrap` panic-site census for the same reason (they are
+/// this rule's domain, and the ported crates return guards directly).
+pub const LOCKISH: &[&str] = &[
+    "lock",
+    "read",
+    "write",
+    "wait",
+    "wait_while",
+    "wait_timeout",
+    "try_lock",
+];
+
+/// `.unwrap()` / `.expect(..)` directly chained onto a lock-ish call
+/// result panics on poison at every call site; the ported crates
+/// route poison through `lgr_sync::recover` instead. Exact-ident
+/// match: `unwrap_or_else(PoisonError::into_inner)` passes.
+fn rule_no_lock_result_unwrap(code: &[&Token], test: &[(usize, usize)], out: &mut Vec<Finding>) {
+    for i in 2..code.len() {
+        let Some(m) = ident(code[i]) else { continue };
+        if m != "unwrap" && m != "expect" {
+            continue;
+        }
+        if !is_punct(code[i - 1], '.') || !is_punct(code[i - 2], ')') {
+            continue;
+        }
+        // Walk back over the balanced `( … )` to the callee ident.
+        let mut depth = 0;
+        let mut j = i - 2;
+        loop {
+            if is_punct(code[j], ')') {
+                depth += 1;
+            } else if is_punct(code[j], '(') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if j == 0 {
+                return;
+            }
+            j -= 1;
+        }
+        if j < 2 {
+            continue;
+        }
+        let callee = ident(code[j - 1]);
+        let method_call = is_punct(code[j - 2], '.');
+        if let Some(callee) = callee {
+            if method_call && LOCKISH.contains(&callee) && !in_test(code[i].line, test) {
+                out.push(Finding {
+                    path: PathBuf::new(),
+                    line: code[i].line,
+                    rule: "no-lock-result-unwrap",
+                    message: format!(
+                        "`.{callee}(..).{m}(..)` panics on poison — lgr-sync guards return \
+                         directly (poison is recovered internally)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- rule R4
+
+/// `Instant::now()` is a vDSO/syscall stall; taking it while holding
+/// a lock guard stretches every waiter's critical section. Tracks
+/// `let <name> = …​.lock()/.read()/.write();` bindings per brace scope
+/// (explicit `drop(name)` releases early) and flags `Instant::now`
+/// while any is live.
+fn rule_no_clock_under_lock(code: &[&Token], test: &[(usize, usize)], out: &mut Vec<Finding>) {
+    struct Guard {
+        name: String,
+        depth: i32,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < code.len() {
+        match &code[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+            }
+            Tok::Ident(w)
+                if w == "drop"
+                    && i + 3 < code.len()
+                    && is_punct(code[i + 1], '(')
+                    && is_punct(code[i + 3], ')') =>
+            {
+                if let Some(name) = ident(code[i + 2]) {
+                    guards.retain(|g| g.name != name);
+                }
+            }
+            Tok::Ident(w) if w == "let" => {
+                // `let [mut] name = …;` — does the initializer *end*
+                // with a lock-ish nullary call?
+                let mut j = i + 1;
+                if code.get(j).and_then(|t| ident(t)) == Some("mut") {
+                    j += 1;
+                }
+                let name = match code.get(j).and_then(|t| ident(t)) {
+                    Some(n) => n.to_owned(),
+                    None => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                if !code.get(j + 1).is_some_and(|t| is_punct(t, '=')) {
+                    i += 1;
+                    continue;
+                }
+                // Scan to the statement's `;` at bracket depth 0.
+                let mut k = j + 2;
+                let mut nest = 0;
+                while k < code.len() {
+                    match code[k].tok {
+                        Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => nest += 1,
+                        Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => nest -= 1,
+                        Tok::Punct(';') if nest == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if k >= 4
+                    && k < code.len()
+                    && is_punct(code[k - 1], ')')
+                    && is_punct(code[k - 2], '(')
+                    && code
+                        .get(k - 3)
+                        .and_then(|t| ident(t))
+                        .is_some_and(|m| matches!(m, "lock" | "read" | "write"))
+                    && code.get(k - 4).is_some_and(|t| is_punct(t, '.'))
+                {
+                    guards.push(Guard { name, depth });
+                }
+                // Resume at the initializer (not the `;`): its tokens
+                // still need brace accounting and the Instant check.
+                i = j + 2;
+                continue;
+            }
+            Tok::Ident(w) if w == "Instant" => {
+                let now = i + 3 < code.len()
+                    && is_punct(code[i + 1], ':')
+                    && is_punct(code[i + 2], ':')
+                    && ident(code[i + 3]) == Some("now");
+                if now && !guards.is_empty() && !in_test(code[i].line, test) {
+                    out.push(Finding {
+                        path: PathBuf::new(),
+                        line: code[i].line,
+                        rule: "no-clock-under-lock",
+                        message: format!(
+                            "`Instant::now()` while lock guard `{}` is held — read the clock \
+                             outside the critical section",
+                            guards.last().map(|g| g.name.as_str()).unwrap_or("?")
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+// ------------------------------------------------------------- rule R5
+
+/// Every `Ordering::X` in non-test code carries a nearby
+/// `// ordering:` comment saying why that strength is right. The
+/// comment may sit on the same line, directly above, or above the
+/// start of a multi-line statement (the scan stops at the previous
+/// statement boundary).
+fn rule_ordering_needs_comment(
+    code: &[&Token],
+    lines: &[&str],
+    test: &[(usize, usize)],
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..code.len() {
+        if ident(code[i]) != Some("Ordering") {
+            continue;
+        }
+        let path_use = code.get(i + 1).is_some_and(|t| is_punct(t, ':'))
+            && code.get(i + 2).is_some_and(|t| is_punct(t, ':'));
+        if !path_use || in_test(code[i].line, test) {
+            continue;
+        }
+        let line0 = code[i].line - 1;
+        let mut ok = false;
+        for off in 0..=8usize {
+            let Some(l) = line0.checked_sub(off) else {
+                break;
+            };
+            let text = lines[l];
+            if text.contains("ordering:") {
+                ok = true;
+                break;
+            }
+            if off > 0 && !is_comment_line(text) {
+                let t = text.trim_end();
+                // Stop at the previous statement/block boundary; keep
+                // climbing through this statement's own earlier lines.
+                if t.ends_with(';') || t.ends_with('{') || t.ends_with('}') {
+                    break;
+                }
+            }
+        }
+        if !ok {
+            out.push(Finding {
+                path: PathBuf::new(),
+                line: code[i].line,
+                rule: "ordering-needs-comment",
+                message: "atomic `Ordering::…` without a `// ordering:` justification comment"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- tests
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(src: &str) -> Vec<(usize, &'static str)> {
+        lint_file(src, true, true)
+            .into_iter()
+            .map(|f| (f.line, f.rule))
+            .collect()
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let hits = rules("fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n");
+        assert_eq!(hits, vec![(2, "unsafe-needs-safety")]);
+    }
+
+    #[test]
+    fn safety_comment_and_doc_section_both_satisfy() {
+        let src = "\
+/// # Safety
+/// Caller upholds everything.
+unsafe fn g() {}
+
+fn f(p: *const u8) -> u8 {
+    // SAFETY: p is valid by construction.
+    unsafe { *p }
+}
+";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_covers_a_multiline_statement_continuation() {
+        let src = "\
+fn f(vals: &[u32], out: &mut Vec<u8>) {
+    // SAFETY: u32 has no padding.
+    let bytes =
+        unsafe { std::slice::from_raw_parts(vals.as_ptr() as *const u8, vals.len() * 4) };
+    out.extend_from_slice(bytes);
+}
+";
+        assert!(rules(src).is_empty());
+        // …but the scan still stops at a completed earlier statement.
+        let bad = "\
+fn f(p: *const u8) -> u8 {
+    // SAFETY: only covers the next statement.
+    let a = unsafe { *p };
+    let b = unsafe { *p };
+    a + b
+}
+";
+        assert_eq!(rules(bad), vec![(4, "unsafe-needs-safety")]);
+    }
+
+    #[test]
+    fn adjacent_unsafe_impls_share_one_safety_comment() {
+        let src = "\
+// SAFETY: T is plain data.
+unsafe impl Send for X {}
+unsafe impl Sync for X {}
+";
+        assert!(rules(src).is_empty());
+        // …but a bare pair with no comment yields two findings.
+        let bare = "unsafe impl Send for X {}\nunsafe impl Sync for X {}\n";
+        assert_eq!(rules(bare).len(), 2);
+    }
+
+    #[test]
+    fn std_sync_lock_paths_are_banned_but_arc_is_fine() {
+        let hits = rules("use std::sync::{Arc, Mutex};\n");
+        assert_eq!(hits, vec![(1, "no-std-sync-locks")]);
+        assert!(rules("use std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\n").is_empty());
+        let inline = rules("fn f() { let m = std::sync::RwLock::new(0); }\n");
+        assert_eq!(inline, vec![(1, "no-std-sync-locks")]);
+    }
+
+    #[test]
+    fn lock_result_unwrap_is_flagged_but_recovery_passes() {
+        let hits = rules("fn f() { let g = m.lock().unwrap(); }\n");
+        assert_eq!(hits, vec![(1, "no-lock-result-unwrap")]);
+        let hits = rules("fn f() { let g = cv.wait(g).expect(\"wait\"); }\n");
+        assert_eq!(hits, vec![(1, "no-lock-result-unwrap")]);
+        assert!(
+            rules("fn f() { let g = m.lock().unwrap_or_else(PoisonError::into_inner); }\n")
+                .is_empty()
+        );
+        // Unrelated results may unwrap.
+        assert!(rules("fn f() { let v = s.parse().unwrap(); }\n").is_empty());
+    }
+
+    #[test]
+    fn clock_under_live_guard_is_flagged() {
+        let src = "\
+fn f() {
+    let g = m.lock();
+    let t = Instant::now();
+}
+";
+        assert_eq!(rules(src), vec![(3, "no-clock-under-lock")]);
+        // Block scoping and explicit drop both end the guard.
+        let ok = "\
+fn f() {
+    {
+        let g = m.lock();
+    }
+    let t = Instant::now();
+    let h = m.write();
+    drop(h);
+    let u = Instant::now();
+}
+";
+        assert!(rules(ok).is_empty());
+    }
+
+    #[test]
+    fn ordering_without_comment_is_flagged() {
+        let src = "fn f(a: &A) { a.x.store(1, Ordering::Relaxed); }\n";
+        assert_eq!(rules(src), vec![(1, "ordering-needs-comment")]);
+        let ok = "\
+fn f(a: &A) {
+    // ordering: Relaxed — counter only.
+    a.x.store(1, Ordering::Relaxed);
+}
+";
+        assert!(rules(ok).is_empty());
+    }
+
+    #[test]
+    fn ordering_comment_scan_stops_at_statement_boundary() {
+        let src = "\
+fn f(a: &A) {
+    // ordering: Relaxed — only covers the next statement.
+    a.x.store(1, Ordering::Relaxed);
+    a.y.store(2, Ordering::Relaxed);
+}
+";
+        assert_eq!(rules(src), vec![(4, "ordering-needs-comment")]);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt_from_lock_discipline() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+    fn t() {
+        let g = m.lock().unwrap();
+        a.store(1, Ordering::Relaxed);
+    }
+}
+";
+        assert!(rules(src).is_empty());
+    }
+}

@@ -1,0 +1,997 @@
+//! Item-level parser for the audit pass.
+//!
+//! Walks the [`crate::lexer`] token stream of one file and extracts
+//! every `fn` item — free functions, inherent/trait-impl methods, and
+//! trait declarations — together with what the call-graph needs:
+//!
+//! * the **calls** its body makes, each with a receiver shape
+//!   ([`Recv`]) for the resolution heuristics in
+//!   [`crate::callgraph`];
+//! * its **panic sites** ([`PanicSite`]): `.unwrap()`/`.expect(..)`
+//!   on non-lock results, panic-family macros, postfix indexing,
+//!   and (informational) narrowing `as` casts and bare arithmetic;
+//! * its **unsafe blocks** and the doc/comment text above the item
+//!   (for the unsafe-provenance rule);
+//! * **macro invocations**, which are treated as opaque: a macro call
+//!   never creates a call edge (its expansion is invisible to this
+//!   parser), except that format-family macros add implicit edges to
+//!   workspace `fmt` methods, and panic-family macros are panic
+//!   sites.
+//!
+//! Known approximations (all conservative for reachability, see
+//! [`crate::callgraph`] for how unresolved receivers fan out):
+//! closures and nested `fn`s are scanned inline as part of the
+//! enclosing item, so their calls/sites are attributed to it;
+//! parameter/let types keep only the first capitalized path segment
+//! (`Vec<JobRequest>` → `Vec`); trait methods are indexed under the
+//! trait's own name as the self type.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::{ident, is_punct, lex, Tok, Token};
+use crate::lint::{cfg_test_lines, in_test, LOCKISH};
+
+/// Receiver shape of a call site, as seen by the tokenizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Recv {
+    /// Free-function call: `helper(..)` or `module::helper(..)`.
+    None,
+    /// Qualified call on a capitalized path: `Type::method(..)`.
+    Path(String),
+    /// `self.method(..)`.
+    SelfRecv,
+    /// `var.method(..)` on a simple local/param name.
+    Var(String),
+    /// Method on a compound expression: `a.b.method(..)`,
+    /// `f(x).method(..)`, `arr[i].method(..)`.
+    Expr,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Method or function name.
+    pub name: String,
+    /// Receiver shape.
+    pub recv: Recv,
+    /// `method::<T>(..)` type argument's first capitalized segment.
+    pub turbofish: Option<String>,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// Classification of a potential panic site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PanicKind {
+    /// `.unwrap()` on a non-lock result.
+    Unwrap,
+    /// `.expect(..)` on a non-lock result.
+    Expect,
+    /// `panic!` / `assert!` / `assert_eq!` / `assert_ne!` /
+    /// `unreachable!` / `todo!` / `unimplemented!` (`debug_assert*`
+    /// excluded: stripped in release).
+    PanicMacro,
+    /// Postfix `expr[..]` indexing (slice/array/map).
+    Index,
+    /// Informational: narrowing `as` cast (`as u8`/`u16`/`u32`/
+    /// `i8`/`i16`/`i32`). Release builds truncate, they don't panic;
+    /// counted so the report can surface hot spots, never gated.
+    CastNarrow,
+    /// Informational: bare `+ - * / %` between value tokens. Release
+    /// builds wrap on overflow (division by zero excepted), so these
+    /// are counted, never gated.
+    Arith,
+}
+
+impl PanicKind {
+    /// Whether this kind gates the audit (vs. informational only).
+    pub fn gates(self) -> bool {
+        !matches!(self, PanicKind::CastNarrow | PanicKind::Arith)
+    }
+
+    /// Short display name, also used in ratchet entries.
+    pub fn name(self) -> &'static str {
+        match self {
+            PanicKind::Unwrap => "unwrap",
+            PanicKind::Expect => "expect",
+            PanicKind::PanicMacro => "panic-macro",
+            PanicKind::Index => "index",
+            PanicKind::CastNarrow => "cast-narrow",
+            PanicKind::Arith => "arith",
+        }
+    }
+}
+
+/// One potential panic site.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// What kind of site.
+    pub kind: PanicKind,
+    /// 1-based line.
+    pub line: usize,
+    /// Short snippet-ish detail (macro name, indexed receiver, …).
+    pub detail: String,
+}
+
+/// An opaque macro invocation (no call edge is created for it).
+#[derive(Debug, Clone)]
+pub struct MacroCall {
+    /// Macro name (without `!`).
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Workspace-relative file, `/`-separated.
+    pub file: String,
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` self type, if any.
+    pub self_ty: Option<String>,
+    /// Trait being implemented (or declared), if any.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// `pub` (any visibility restriction counts).
+    pub is_pub: bool,
+    /// `#[test]`, inside `#[cfg(test)]`, or in a `tests/` file.
+    pub is_test: bool,
+    /// Declared `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Doc/comment text directly above the item (and its attributes).
+    pub doc: String,
+    /// Call sites in the body.
+    pub calls: Vec<Call>,
+    /// Opaque macro invocations in the body.
+    pub macro_calls: Vec<MacroCall>,
+    /// Whether the body invokes a format-family macro
+    /// (`format!`/`write!`/…), which implies `Display`/`Debug`
+    /// dispatch to workspace `fmt` methods.
+    pub uses_format: bool,
+    /// Potential panic sites in the body.
+    pub panic_sites: Vec<PanicSite>,
+    /// Lines of `unsafe` tokens in the body (or of the `fn` itself
+    /// when declared `unsafe fn`).
+    pub unsafe_lines: Vec<usize>,
+    /// Every identifier appearing in the body (wrapper detection).
+    pub body_idents: HashSet<String>,
+    /// Best-effort local/param types: name → first capitalized path
+    /// segment of the annotation or initializer.
+    pub var_types: HashMap<String, String>,
+}
+
+impl FnItem {
+    /// `Type::name` for methods, bare `name` otherwise.
+    pub fn display_name(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+
+const FORMAT_MACROS: &[&str] = &[
+    "format",
+    "format_args",
+    "write",
+    "writeln",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+];
+
+const NARROW_CASTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Keywords that rule out the preceding token being an indexable
+/// value (`if let [a, b] = …` is a pattern, not an index).
+const KEYWORDS: &[&str] = &[
+    "let", "in", "return", "if", "else", "match", "mut", "ref", "move", "as", "break", "continue",
+    "where", "unsafe", "dyn", "impl", "fn", "pub", "const", "static", "enum", "struct", "use",
+    "mod", "type", "trait", "for", "while", "loop", "yield", "box",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+fn is_capitalized(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// Parses one file into its `fn` items. `rel` is the
+/// workspace-relative path (`/`-separated); files under a `tests/`
+/// directory are wholly test code.
+pub fn parse_file(rel: &str, src: &str) -> Vec<FnItem> {
+    let tokens = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.tok, Tok::Comment(_)))
+        .collect();
+    let test_ranges = cfg_test_lines(&code);
+    let file_is_test = rel.contains("/tests/");
+
+    let mut items = Vec::new();
+    // Stack of enclosing impl/trait blocks: (depth-before-open,
+    // self type, trait name).
+    let mut ctx: Vec<(i32, String, Option<String>)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < code.len() {
+        match &code[i].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                while ctx.last().is_some_and(|(d, _, _)| *d >= depth) {
+                    ctx.pop();
+                }
+                i += 1;
+            }
+            Tok::Ident(w) if w == "macro_rules" => {
+                // Skip the whole definition: its body is token soup
+                // that must not be mistaken for items.
+                while i < code.len() && !is_punct(code[i], '{') {
+                    i += 1;
+                }
+                i = skip_balanced(&code, i, '{', '}');
+            }
+            Tok::Ident(w) if (w == "impl" || w == "trait") && !ctx_in_fn_position(&code, i) => {
+                let (self_ty, trait_name, brace) = parse_impl_header(&code, i, w == "trait");
+                match brace {
+                    Some(b) => {
+                        ctx.push((depth, self_ty, trait_name));
+                        i = b; // the '{' is processed by the loop
+                    }
+                    None => i += 1,
+                }
+            }
+            Tok::Ident(w) if w == "fn" => {
+                match parse_fn(rel, &code, &lines, i, &ctx, &test_ranges, file_is_test) {
+                    Some((item, next)) => {
+                        items.push(item);
+                        i = next;
+                    }
+                    None => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+/// `impl`/`trait` appearing as a type (`impl Fn()`, `dyn Trait`) —
+/// only treat it as an item header after `;`, `}`, `{`, `]`, or at
+/// the start of the file (item position).
+fn ctx_in_fn_position(code: &[&Token], i: usize) -> bool {
+    match i.checked_sub(1).and_then(|p| code.get(p)) {
+        None => false,
+        Some(t) => !matches!(
+            t.tok,
+            Tok::Punct(';') | Tok::Punct('}') | Tok::Punct('{') | Tok::Punct(']')
+        ),
+    }
+}
+
+/// Parses an `impl`/`trait` header starting at its keyword. Returns
+/// (self type, trait name, index of the opening `{`). For `trait`,
+/// the trait's own name doubles as the self type so its default
+/// methods are indexed under it.
+fn parse_impl_header(
+    code: &[&Token],
+    kw: usize,
+    is_trait: bool,
+) -> (String, Option<String>, Option<usize>) {
+    let mut i = kw + 1;
+    // Generic parameters on the impl/trait itself.
+    if code.get(i).is_some_and(|t| is_punct(t, '<')) {
+        i = skip_balanced(code, i, '<', '>');
+    }
+    let (first, mut i) = read_type_path(code, i);
+    let mut self_ty = first.clone();
+    let mut trait_name = None;
+    if !is_trait {
+        if code.get(i).and_then(|t| ident(t)) == Some("for") {
+            trait_name = Some(first);
+            let (ty, j) = read_type_path(code, i + 1);
+            self_ty = ty;
+            i = j;
+        }
+    } else {
+        trait_name = Some(first);
+    }
+    // Skip bounds / where clause to the body.
+    while i < code.len() && !is_punct(code[i], '{') && !is_punct(code[i], ';') {
+        if is_punct(code[i], '<') {
+            i = skip_balanced(code, i, '<', '>');
+        } else {
+            i += 1;
+        }
+    }
+    let brace = (i < code.len() && is_punct(code[i], '{')).then_some(i);
+    (self_ty, trait_name, brace)
+}
+
+/// Reads a type path (`a::b::Ty<…>`), returning the last plain
+/// segment and the index just past the path.
+fn read_type_path(code: &[&Token], mut i: usize) -> (String, usize) {
+    let mut last = String::new();
+    while i < code.len() {
+        match &code[i].tok {
+            Tok::Ident(s) if !is_keyword(s) || s == "dyn" => {
+                if s != "dyn" {
+                    last = s.clone();
+                }
+                i += 1;
+            }
+            Tok::Punct(':') => i += 1,
+            Tok::Punct('<') => i = skip_balanced(code, i, '<', '>'),
+            Tok::Punct('&') | Tok::Punct('\'') => i += 1,
+            Tok::Lifetime => i += 1,
+            _ => break,
+        }
+    }
+    (last, i)
+}
+
+/// Skips past a balanced `open … close` region starting at `open`'s
+/// index; returns the index just past the closer.
+fn skip_balanced(code: &[&Token], mut i: usize, open: char, close: char) -> usize {
+    let mut depth = 0;
+    while i < code.len() {
+        if is_punct(code[i], open) {
+            depth += 1;
+        } else if is_punct(code[i], close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Walks back from the `fn` keyword over modifiers and attributes.
+/// Returns (is_pub, is_unsafe, saw `test` inside an attribute).
+fn scan_modifiers(code: &[&Token], fn_idx: usize) -> (bool, bool, bool) {
+    let mut is_pub = false;
+    let mut is_unsafe = false;
+    let mut attr_test = false;
+    let mut j = fn_idx;
+    while j > 0 {
+        let p = j - 1;
+        match &code[p].tok {
+            Tok::Ident(w) if matches!(w.as_str(), "unsafe" | "const" | "async" | "extern") => {
+                if w == "unsafe" {
+                    is_unsafe = true;
+                }
+                j = p;
+            }
+            Tok::Ident(w) if w == "pub" => {
+                is_pub = true;
+                j = p;
+            }
+            Tok::Str => j = p, // extern "C"
+            Tok::Punct(')') => {
+                // pub(crate) / pub(super): hop to the matching '('.
+                let mut k = p;
+                let mut depth = 0;
+                loop {
+                    if is_punct(code[k], ')') {
+                        depth += 1;
+                    } else if is_punct(code[k], '(') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if k == 0 {
+                        return (is_pub, is_unsafe, attr_test);
+                    }
+                    k -= 1;
+                }
+                j = k;
+            }
+            Tok::Punct(']') => {
+                // An attribute: walk to its '[' and note `test`.
+                let mut k = p;
+                let mut depth = 0;
+                loop {
+                    if is_punct(code[k], ']') {
+                        depth += 1;
+                    } else if is_punct(code[k], '[') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if ident(code[k]) == Some("test") {
+                        attr_test = true;
+                    }
+                    if k == 0 {
+                        return (is_pub, is_unsafe, attr_test);
+                    }
+                    k -= 1;
+                }
+                // Require the leading '#'.
+                if k > 0 && is_punct(code[k - 1], '#') {
+                    j = k - 1;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (is_pub, is_unsafe, attr_test)
+}
+
+/// Collects the contiguous comment/attribute block above `line0`
+/// (0-based) as the item's doc text.
+fn doc_above(lines: &[&str], line0: usize) -> String {
+    let mut doc = Vec::new();
+    let mut l = line0;
+    while l > 0 {
+        l -= 1;
+        let t = lines[l].trim_start();
+        if t.starts_with("//") || t.starts_with("/*") || t.starts_with('*') || t.starts_with("#[") {
+            doc.push(t.to_owned());
+        } else if t.is_empty() && doc.is_empty() {
+            // Allow one gap between the attrs and the signature run.
+            break;
+        } else {
+            break;
+        }
+    }
+    doc.reverse();
+    doc.join("\n")
+}
+
+/// Parses one `fn` item at `fn_idx`; returns the item and the index
+/// just past it. `None` for fn-pointer types (`fn(..)` with no name).
+#[allow(clippy::too_many_arguments)]
+fn parse_fn(
+    rel: &str,
+    code: &[&Token],
+    lines: &[&str],
+    fn_idx: usize,
+    ctx: &[(i32, String, Option<String>)],
+    test_ranges: &[(usize, usize)],
+    file_is_test: bool,
+) -> Option<(FnItem, usize)> {
+    let name = ident(code.get(fn_idx + 1)?)?.to_owned();
+    let (is_pub, is_unsafe, attr_test) = scan_modifiers(code, fn_idx);
+    let line = code[fn_idx].line;
+    let is_test = file_is_test || attr_test || in_test(line, test_ranges);
+    let doc = doc_above(lines, line - 1);
+
+    let mut item = FnItem {
+        file: rel.to_owned(),
+        name,
+        self_ty: ctx.last().map(|(_, t, _)| t.clone()),
+        trait_name: ctx.last().and_then(|(_, _, tr)| tr.clone()),
+        line,
+        is_pub,
+        is_test,
+        is_unsafe,
+        doc,
+        calls: Vec::new(),
+        macro_calls: Vec::new(),
+        uses_format: false,
+        panic_sites: Vec::new(),
+        unsafe_lines: if is_unsafe { vec![line] } else { Vec::new() },
+        body_idents: HashSet::new(),
+        var_types: HashMap::new(),
+    };
+
+    // Generics, then the parameter list.
+    let mut i = fn_idx + 2;
+    if code.get(i).is_some_and(|t| is_punct(t, '<')) {
+        i = skip_balanced(code, i, '<', '>');
+    }
+    if !code.get(i).is_some_and(|t| is_punct(t, '(')) {
+        return None;
+    }
+    let params_end = skip_balanced(code, i, '(', ')');
+    parse_params(code, i + 1, params_end.saturating_sub(1), &mut item);
+    i = params_end;
+
+    // Return type / where clause, up to the body or a `;` decl.
+    while i < code.len() && !is_punct(code[i], '{') && !is_punct(code[i], ';') {
+        if is_punct(code[i], '<') {
+            i = skip_balanced(code, i, '<', '>');
+        } else {
+            i += 1;
+        }
+    }
+    if i >= code.len() || is_punct(code[i], ';') {
+        return Some((item, i + 1));
+    }
+    let body_end = skip_balanced(code, i, '{', '}');
+    scan_body(code, i + 1, body_end.saturating_sub(1), &mut item);
+    Some((item, body_end))
+}
+
+/// Records parameter names and their best-effort types.
+fn parse_params(code: &[&Token], start: usize, end: usize, item: &mut FnItem) {
+    let mut i = start;
+    let mut at_name = true;
+    let mut pending: Option<String> = None;
+    let mut nest = 0;
+    while i < end {
+        match &code[i].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('<') => nest += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('>') => nest -= 1,
+            Tok::Punct(',') if nest == 0 => {
+                at_name = true;
+                pending = None;
+            }
+            Tok::Punct(':') if nest == 0 => at_name = false,
+            Tok::Ident(w) if nest == 0 && at_name && !is_keyword(w) && w != "self" => {
+                pending = Some(w.clone());
+            }
+            Tok::Ident(w) if !at_name && is_capitalized(w) => {
+                if let Some(name) = pending.take() {
+                    item.var_types.insert(name, w.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Scans a function body (`start..end` excludes the braces),
+/// collecting calls, macro uses, panic sites, unsafe blocks, idents,
+/// and local-variable types.
+fn scan_body(code: &[&Token], start: usize, end: usize, item: &mut FnItem) {
+    let mut i = start;
+    while i < end {
+        match &code[i].tok {
+            Tok::Ident(w) if w == "unsafe" => {
+                item.unsafe_lines.push(code[i].line);
+                item.body_idents.insert(w.clone());
+                i += 1;
+            }
+            Tok::Ident(w) if w == "fn" => {
+                // Nested fn: skip its name so it isn't read as a
+                // call; the body is scanned inline as ours.
+                i += 2;
+            }
+            Tok::Ident(w) if w == "let" => {
+                record_let_type(code, i, end, item);
+                i += 1;
+            }
+            Tok::Ident(w) if w == "as" => {
+                if let Some(t) = code.get(i + 1).and_then(|t| ident(t)) {
+                    if NARROW_CASTS.contains(&t) {
+                        item.panic_sites.push(PanicSite {
+                            kind: PanicKind::CastNarrow,
+                            line: code[i].line,
+                            detail: format!("as {t}"),
+                        });
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(w) => {
+                item.body_idents.insert(w.clone());
+                let next = code.get(i + 1);
+                if next.is_some_and(|t| is_punct(t, '!'))
+                    && !code.get(i + 2).is_some_and(|t| is_punct(t, '='))
+                {
+                    scan_macro(code, i, w, item);
+                    i += 2; // macro arguments are scanned normally
+                } else if next.is_some_and(|t| is_punct(t, '(')) {
+                    scan_call(code, i, w, None, item);
+                    i += 1;
+                } else if next.is_some_and(|t| is_punct(t, ':'))
+                    && code.get(i + 2).is_some_and(|t| is_punct(t, ':'))
+                    && code.get(i + 3).is_some_and(|t| is_punct(t, '<'))
+                {
+                    // Turbofish: `name::<T>(…)`.
+                    let after = skip_balanced(code, i + 3, '<', '>');
+                    if code.get(after).is_some_and(|t| is_punct(t, '(')) {
+                        let tf = (i + 4..after)
+                            .find_map(|k| ident(code[k]).filter(|s| is_capitalized(s)))
+                            .map(str::to_owned);
+                        scan_call(code, i, w, tf, item);
+                    }
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Punct('[') => {
+                scan_index(code, i, item);
+                i += 1;
+            }
+            Tok::Punct(op @ ('+' | '-' | '*' | '/' | '%')) => {
+                scan_arith(code, i, *op, item);
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// `let [mut] name : Type = …` / `let [mut] name = Type::…` — record
+/// a best-effort local type.
+fn record_let_type(code: &[&Token], let_idx: usize, end: usize, item: &mut FnItem) {
+    let mut j = let_idx + 1;
+    if code.get(j).and_then(|t| ident(t)) == Some("mut") {
+        j += 1;
+    }
+    let Some(name) = code.get(j).and_then(|t| ident(t)) else {
+        return;
+    };
+    if is_keyword(name) {
+        return;
+    }
+    let name = name.to_owned();
+    match code.get(j + 1).map(|t| &t.tok) {
+        Some(Tok::Punct(':')) => {
+            // Annotation: first capitalized ident before `=`/`;`.
+            let mut k = j + 2;
+            while k < end {
+                match &code[k].tok {
+                    Tok::Punct('=') | Tok::Punct(';') => break,
+                    Tok::Ident(t) if is_capitalized(t) => {
+                        item.var_types.insert(name, t.clone());
+                        return;
+                    }
+                    _ => k += 1,
+                }
+            }
+        }
+        Some(Tok::Punct('=')) => {
+            // `= Type::…` initializer.
+            if let Some(t) = code.get(j + 2).and_then(|t| ident(t)) {
+                if is_capitalized(t)
+                    && code.get(j + 3).is_some_and(|t| is_punct(t, ':'))
+                    && code.get(j + 4).is_some_and(|t| is_punct(t, ':'))
+                {
+                    item.var_types.insert(name, t.to_owned());
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Records a macro invocation at `name !`: panic-family macros are
+/// panic sites, format-family macros set the implicit-`fmt` flag,
+/// everything else is an opaque [`MacroCall`].
+fn scan_macro(code: &[&Token], i: usize, name: &str, item: &mut FnItem) {
+    if PANIC_MACROS.contains(&name) {
+        item.panic_sites.push(PanicSite {
+            kind: PanicKind::PanicMacro,
+            line: code[i].line,
+            detail: format!("{name}!"),
+        });
+    } else if FORMAT_MACROS.contains(&name) {
+        item.uses_format = true;
+    } else if !name.starts_with("debug_assert") {
+        item.macro_calls.push(MacroCall {
+            name: name.to_owned(),
+            line: code[i].line,
+        });
+    }
+}
+
+/// Records a call at `name (` — deciding the receiver shape by
+/// looking backwards — and classifies `unwrap`/`expect` panic sites
+/// (excluding direct lock-result chains, which are the lint's
+/// domain: lgr-sync guards don't return `Result` at all).
+fn scan_call(code: &[&Token], i: usize, name: &str, turbofish: Option<String>, item: &mut FnItem) {
+    if is_keyword(name) || name == "self" {
+        return;
+    }
+    let line = code[i].line;
+    let prev = i.checked_sub(1).map(|p| &code[p].tok);
+    let recv = match prev {
+        Some(Tok::Punct('.')) => {
+            let p2 = i.checked_sub(2).map(|p| &code[p].tok);
+            match p2 {
+                Some(Tok::Ident(r)) => {
+                    let p3_dot = i
+                        .checked_sub(3)
+                        .is_some_and(|p| matches!(code[p].tok, Tok::Punct('.')));
+                    if p3_dot {
+                        Recv::Expr // field chain: `a.b.method(..)`
+                    } else if r == "self" {
+                        Recv::SelfRecv
+                    } else {
+                        Recv::Var(r.clone())
+                    }
+                }
+                _ => Recv::Expr,
+            }
+        }
+        Some(Tok::Punct(':'))
+            if i.checked_sub(2)
+                .is_some_and(|p| matches!(code[p].tok, Tok::Punct(':'))) =>
+        {
+            match i.checked_sub(3).and_then(|p| ident(code[p])) {
+                Some(q) if is_capitalized(q) => Recv::Path(q.to_owned()),
+                // Module-qualified free call: resolve by name.
+                _ => Recv::None,
+            }
+        }
+        Some(Tok::Ident(w)) if w == "fn" => return, // fn-pointer type
+        _ => Recv::None,
+    };
+
+    if (name == "unwrap" || name == "expect")
+        && matches!(recv, Recv::Var(_) | Recv::Expr | Recv::SelfRecv)
+    {
+        if !is_lock_chain(code, i) {
+            item.panic_sites.push(PanicSite {
+                kind: if name == "unwrap" {
+                    PanicKind::Unwrap
+                } else {
+                    PanicKind::Expect
+                },
+                line,
+                detail: format!(".{name}(..)"),
+            });
+        }
+        return;
+    }
+
+    item.calls.push(Call {
+        name: name.to_owned(),
+        recv,
+        turbofish,
+        line,
+    });
+}
+
+/// Whether `.unwrap()`/`.expect(..)` at `i` chains directly off a
+/// lock-ish call: `….lock().unwrap()`.
+fn is_lock_chain(code: &[&Token], i: usize) -> bool {
+    // Requires `) . name` — walk the balanced parens back to the
+    // callee.
+    if !(i >= 2 && is_punct(code[i - 1], '.') && is_punct(code[i - 2], ')')) {
+        return false;
+    }
+    let mut depth = 0;
+    let mut j = i - 2;
+    loop {
+        if is_punct(code[j], ')') {
+            depth += 1;
+        } else if is_punct(code[j], '(') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+    }
+    j >= 2 && is_punct(code[j - 2], '.') && ident(code[j - 1]).is_some_and(|c| LOCKISH.contains(&c))
+}
+
+/// Records a postfix-index panic site at `[` when the previous token
+/// is a value (`ident`/`)`/`]`), which excludes attributes (`#[`),
+/// macro brackets (`vec![`), types, and patterns.
+fn scan_index(code: &[&Token], i: usize, item: &mut FnItem) {
+    let Some(p) = i.checked_sub(1) else { return };
+    let value_before = match &code[p].tok {
+        Tok::Ident(w) => !is_keyword(w),
+        Tok::Punct(')') | Tok::Punct(']') => true,
+        _ => false,
+    };
+    if value_before {
+        let recv = ident(code[p]).unwrap_or("(expr)");
+        item.panic_sites.push(PanicSite {
+            kind: PanicKind::Index,
+            line: code[i].line,
+            detail: format!("{recv}[..]"),
+        });
+    }
+}
+
+/// Counts bare arithmetic between value tokens (informational).
+fn scan_arith(code: &[&Token], i: usize, op: char, item: &mut FnItem) {
+    let prev_value = i.checked_sub(1).is_some_and(|p| match &code[p].tok {
+        Tok::Ident(w) => !is_keyword(w),
+        Tok::Number | Tok::Punct(')') | Tok::Punct(']') => true,
+        _ => false,
+    });
+    let next_value = code.get(i + 1).is_some_and(|t| match &t.tok {
+        Tok::Ident(w) => !is_keyword(w),
+        Tok::Number | Tok::Punct('(') => true,
+        _ => false,
+    });
+    // `->` arrows and `a *b` generics noise are rare enough; the
+    // count is informational either way.
+    if prev_value && next_value {
+        item.panic_sites.push(PanicSite {
+            kind: PanicKind::Arith,
+            line: code[i].line,
+            detail: format!("{op}"),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        parse_file("crates/x/src/lib.rs", src)
+    }
+
+    #[test]
+    fn free_fns_methods_and_traits_are_itemized() {
+        let src = "\
+pub fn free() {}
+struct S;
+impl S {
+    pub(crate) fn method(&self) {}
+}
+impl std::fmt::Display for S {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }
+}
+trait T {
+    fn required(&self);
+    fn defaulted(&self) { self.required(); }
+}
+";
+        let items = parse(src);
+        let names: Vec<String> = items.iter().map(|f| f.display_name()).collect();
+        assert_eq!(
+            names,
+            vec!["free", "S::method", "S::fmt", "T::required", "T::defaulted"]
+        );
+        assert!(items[0].is_pub && items[1].is_pub && !items[2].is_pub);
+        assert_eq!(items[2].trait_name.as_deref(), Some("Display"));
+        let defaulted = &items[4];
+        assert_eq!(defaulted.calls.len(), 1);
+        assert_eq!(defaulted.calls[0].recv, Recv::SelfRecv);
+    }
+
+    #[test]
+    fn receiver_shapes_are_classified() {
+        let src = "\
+fn f(req: &JobRequest, s: &str) {
+    helper(1);
+    JobRequest::parse(s);
+    req.run(s);
+    self.go();
+    a.b.chain();
+    let cfg = SimConfig::default();
+    cfg.validate();
+    s.parse::<SimConfig>();
+}
+";
+        let f = &parse(src)[0];
+        let by_name = |n: &str| f.calls.iter().find(|c| c.name == n).unwrap();
+        assert_eq!(by_name("helper").recv, Recv::None);
+        assert_eq!(by_name("parse").recv, Recv::Path("JobRequest".into()));
+        assert_eq!(by_name("run").recv, Recv::Var("req".into()));
+        assert_eq!(by_name("go").recv, Recv::SelfRecv);
+        assert_eq!(by_name("chain").recv, Recv::Expr);
+        assert_eq!(
+            f.var_types.get("req").map(String::as_str),
+            Some("JobRequest")
+        );
+        assert_eq!(
+            f.var_types.get("cfg").map(String::as_str),
+            Some("SimConfig")
+        );
+        let tf = f.calls.iter().find(|c| c.turbofish.is_some()).unwrap();
+        assert_eq!(tf.name, "parse");
+        assert_eq!(tf.turbofish.as_deref(), Some("SimConfig"));
+    }
+
+    #[test]
+    fn panic_sites_are_collected_with_exclusions() {
+        let src = "\
+fn f(v: &[u32], o: Option<u32>, m: &Mutex<u32>) -> u32 {
+    let a = v[0];
+    let b = o.unwrap();
+    let c = o.expect(\"msg\");
+    let d = m.lock().unwrap(); // lock chain: lint's domain, not audit's
+    assert!(a > 0);
+    debug_assert!(a > 0); // stripped in release
+    let e = vec![1, 2]; // macro bracket, not an index
+    #[allow(dead_code)] // attribute bracket, not an index
+    let f = a as u8;
+    a + b
+}
+";
+        let f = &parse(src)[0];
+        let gating: Vec<PanicKind> = f
+            .panic_sites
+            .iter()
+            .filter(|s| s.kind.gates())
+            .map(|s| s.kind)
+            .collect();
+        assert_eq!(
+            gating,
+            vec![
+                PanicKind::Index,
+                PanicKind::Unwrap,
+                PanicKind::Expect,
+                PanicKind::PanicMacro
+            ]
+        );
+        assert!(f
+            .panic_sites
+            .iter()
+            .any(|s| s.kind == PanicKind::CastNarrow));
+        assert!(f.panic_sites.iter().any(|s| s.kind == PanicKind::Arith));
+    }
+
+    #[test]
+    fn macros_are_opaque_but_format_macros_set_the_fmt_flag() {
+        let f = &parse("fn f() { my_macro!(a, b); format!(\"{}\", x); }")[0];
+        assert!(f.uses_format);
+        assert_eq!(f.macro_calls.len(), 1);
+        assert_eq!(f.macro_calls[0].name, "my_macro");
+        // The macro is not a call edge…
+        assert!(!f.calls.iter().any(|c| c.name == "my_macro"));
+    }
+
+    #[test]
+    fn test_markers_are_detected() {
+        let src = "\
+#[test]
+fn unit() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+fn regular() {}
+";
+        let items = parse(src);
+        assert!(items[0].is_test);
+        assert!(items[1].is_test);
+        assert!(!items[2].is_test);
+        let in_tests_dir = parse_file("crates/x/tests/t.rs", "fn any() {}");
+        assert!(in_tests_dir[0].is_test);
+    }
+
+    #[test]
+    fn unsafe_fns_and_blocks_are_recorded_with_docs() {
+        let src = "\
+/// Writes without bounds checks.
+///
+/// # Safety
+/// Caller guarantees disjoint indices.
+pub unsafe fn write_at() {}
+
+pub fn wrapper(s: &SyncSlice) {
+    // SAFETY: chunks are disjoint by construction.
+    unsafe { s.write(0, 1) };
+}
+";
+        let items = parse(src);
+        assert!(items[0].is_unsafe && !items[0].unsafe_lines.is_empty());
+        assert!(items[0].doc.contains("# Safety"));
+        assert_eq!(items[1].unsafe_lines.len(), 1);
+        assert!(items[1].var_types.values().any(|t| t == "SyncSlice"));
+        assert!(items[1].body_idents.contains("write"));
+    }
+}

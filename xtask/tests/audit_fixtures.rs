@@ -1,0 +1,179 @@
+//! End-to-end tests for `cargo xtask audit`: fixture mini-crates with
+//! known finding sets, plus CI-shape runs over the real workspace —
+//! including the proof that injecting an `unwrap()` into a
+//! serve-reachable function fails the audit.
+
+use std::path::Path;
+
+use xtask::audit::{self, AuditConfig, EntryPattern};
+use xtask::{load_sources, ratchet, workspace_root, SourceFile};
+
+/// Loads one fixture file under a `fixtures/` pseudo-path.
+fn fixture(name: &str) -> Vec<SourceFile> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    vec![SourceFile {
+        rel: format!("fixtures/{name}"),
+        src: std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}")),
+    }]
+}
+
+/// Audit config treating every fixture `entry` fn as untrusted input.
+fn fixture_cfg() -> AuditConfig {
+    AuditConfig {
+        entries: vec![EntryPattern {
+            file_prefix: "fixtures/".to_owned(),
+            fn_name: Some("entry".to_owned()),
+        }],
+        zero_zones: vec![],
+        provenance_prefixes: vec![],
+        wrapper_prefixes: vec![],
+    }
+}
+
+/// The exact (fn, rule) finding set for a fixture.
+fn finding_set(name: &str) -> Vec<(String, &'static str)> {
+    let outcome = audit::run(&fixture(name), &fixture_cfg());
+    let mut set: Vec<(String, &'static str)> = outcome
+        .groups
+        .iter()
+        .map(|g| (g.fn_disp.clone(), g.rule))
+        .collect();
+    set.sort();
+    set
+}
+
+#[test]
+fn unwrap_two_hops_from_entry_is_found() {
+    assert_eq!(
+        finding_set("reachable_unwrap.rs"),
+        vec![("step".to_owned(), "unwrap")]
+    );
+}
+
+#[test]
+fn dead_code_and_test_unwraps_are_not_found() {
+    assert_eq!(finding_set("unreachable_unwrap.rs"), vec![]);
+}
+
+#[test]
+fn dyn_dispatch_fans_out_to_every_impl() {
+    assert_eq!(
+        finding_set("trait_fanout.rs"),
+        vec![
+            ("Checked::push".to_owned(), "panic-macro"),
+            ("Indexed::push".to_owned(), "index"),
+        ]
+    );
+}
+
+#[test]
+fn macro_bodies_are_opaque_but_macro_arguments_are_not() {
+    // `hidden()`'s panic is invoked only from inside a macro
+    // expansion: a documented under-approximation, NOT reported.
+    // The `o.unwrap()` in `entry` is ordinary code and IS reported.
+    assert_eq!(
+        finding_set("macro_opaque.rs"),
+        vec![("entry".to_owned(), "unwrap")]
+    );
+}
+
+#[test]
+fn ratchet_entries_absorb_exactly_their_acknowledged_group() {
+    let outcome = audit::run(&fixture("ratcheted.rs"), &fixture_cfg());
+    assert_eq!(
+        outcome
+            .groups
+            .iter()
+            .map(|g| (g.fn_disp.as_str(), g.rule))
+            .collect::<Vec<_>>(),
+        vec![("lookup", "index")]
+    );
+    // Unacknowledged: the audit gates.
+    let bare = ratchet::check(&outcome.groups, &[], &[]);
+    assert_eq!(bare.len(), 1, "{bare:?}");
+    // Acknowledged with a justification: it passes.
+    let entries =
+        ratchet::parse("fixtures/ratcheted.rs lookup index 1 # modulo-bounded\n").unwrap();
+    assert!(ratchet::check(&outcome.groups, &entries, &[]).is_empty());
+    // And the count ratchets: claiming 2 sites when only 1 exists
+    // (paid-down debt) fails until the entry shrinks.
+    let stale = ratchet::parse("fixtures/ratcheted.rs lookup index 2 # modulo-bounded\n").unwrap();
+    assert!(!ratchet::check(&outcome.groups, &stale, &[]).is_empty());
+}
+
+/// The chain `--explain` prints walks entry -> ... -> site.
+#[test]
+fn explain_reconstructs_the_fixture_call_chain() {
+    let outcome = audit::run(&fixture("reachable_unwrap.rs"), &fixture_cfg());
+    let lines = audit::explain(&outcome, "step");
+    let joined = lines.join("\n");
+    assert!(joined.contains("entry"), "{joined}");
+    assert!(joined.contains("decode"), "{joined}");
+    assert!(joined.contains("step"), "{joined}");
+}
+
+// ---- CI-shape runs over the real workspace ------------------------
+
+fn real_sources() -> Vec<SourceFile> {
+    load_sources(&workspace_root())
+}
+
+fn real_ratchet() -> Vec<ratchet::RatchetEntry> {
+    let text = std::fs::read_to_string(workspace_root().join("xtask/audit.ratchet"))
+        .expect("committed audit.ratchet");
+    ratchet::parse(&text).expect("committed ratchet parses")
+}
+
+/// What CI runs: the committed ratchet exactly covers the current
+/// findings — no unacknowledged groups, no stale entries, nothing in
+/// a zero zone.
+#[test]
+fn committed_ratchet_keeps_the_real_workspace_audit_clean() {
+    let cfg = AuditConfig::default();
+    let outcome = audit::run(&real_sources(), &cfg);
+    let findings = ratchet::check(&outcome.groups, &real_ratchet(), &cfg.zero_zones);
+    assert!(findings.is_empty(), "audit would fail CI:\n{findings:?}");
+    // The serve/codec/parse zero zones really are at zero.
+    assert!(
+        outcome.groups.iter().all(|g| !g.zero_zone),
+        "zero-zone findings present"
+    );
+}
+
+/// Injecting an unwrap into a serve-reachable function must turn the
+/// audit red (nonzero exit in CI) — and no ratchet entry can
+/// acknowledge it, because all of crates/serve is a zero zone.
+#[test]
+fn injected_unwrap_in_serve_fails_the_audit() {
+    let mut files = real_sources();
+    let protocol = files
+        .iter_mut()
+        .find(|f| f.rel == "crates/serve/src/protocol.rs")
+        .expect("protocol.rs in sources");
+    let needle = "pub fn error_line(message: &str) -> String {";
+    assert!(protocol.src.contains(needle), "anchor fn moved");
+    protocol.src = protocol.src.replace(
+        needle,
+        "pub fn error_line(message: &str) -> String {\n    \
+         let _poison: u32 = message.len().try_into().unwrap();",
+    );
+    let cfg = AuditConfig::default();
+    let outcome = audit::run(&files, &cfg);
+    let findings = ratchet::check(&outcome.groups, &real_ratchet(), &cfg.zero_zones);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "unwrap" && f.path.to_string_lossy().contains("protocol.rs")),
+        "injected unwrap not flagged: {findings:?}"
+    );
+    // It surfaces as a zero-zone group: unratchetable by design.
+    assert!(
+        outcome
+            .groups
+            .iter()
+            .any(|g| g.zero_zone && g.rule == "unwrap" && g.file.ends_with("protocol.rs")),
+        "injected unwrap should be a zero-zone finding"
+    );
+}

@@ -1,0 +1,26 @@
+//! Fixture: a call hidden inside a macro invocation. Macros are
+//! opaque to the analyzer (only their argument expressions are
+//! scanned), so the panic inside `hidden` is a documented
+//! under-approximation — the audit must NOT claim it is reachable,
+//! but a panic site passed as a macro *argument* must still be seen.
+
+macro_rules! run_hidden {
+    () => {
+        hidden()
+    };
+}
+
+pub fn hidden() -> u32 {
+    panic!("invisible through the macro")
+}
+
+pub fn entry(o: Option<u32>) -> u32 {
+    // The macro body's call edge to `hidden` is not modeled...
+    let _ = run_hidden!();
+    // ...but this argument expression is scanned and flagged.
+    log(o.unwrap())
+}
+
+fn log(x: u32) -> u32 {
+    x
+}

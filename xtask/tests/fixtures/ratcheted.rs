@@ -1,0 +1,10 @@
+//! Fixture: a reachable index site that a justified ratchet entry
+//! acknowledges — present in the findings, absorbed by the ratchet.
+
+pub fn entry(table: &[u32], i: usize) -> u32 {
+    lookup(table, i)
+}
+
+fn lookup(table: &[u32], i: usize) -> u32 {
+    table[i % table.len().max(1)]
+}

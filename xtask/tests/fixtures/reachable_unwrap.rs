@@ -1,0 +1,17 @@
+//! Fixture: an unwrap two hops from the entry point — the audit must
+//! flag it with the full call chain.
+
+pub fn entry(raw: &str) {
+    let parsed = decode(raw);
+    consume(parsed);
+}
+
+fn decode(raw: &str) -> u32 {
+    step(raw)
+}
+
+fn step(raw: &str) -> u32 {
+    raw.parse().unwrap()
+}
+
+fn consume(_: u32) {}

@@ -1,0 +1,32 @@
+//! Fixture: dynamic dispatch. The receiver's concrete type is
+//! unknowable statically, so the audit fans out to every same-name
+//! method — both impls' panic sites must be reported as reachable.
+
+pub trait Sink {
+    fn push(&mut self, item: u32);
+}
+
+pub struct Checked {
+    items: Vec<u32>,
+}
+
+impl Sink for Checked {
+    fn push(&mut self, item: u32) {
+        assert!(item < 1000, "out of range");
+        self.items.push(item);
+    }
+}
+
+pub struct Indexed {
+    slots: Vec<u32>,
+}
+
+impl Sink for Indexed {
+    fn push(&mut self, item: u32) {
+        self.slots[item as usize] = item;
+    }
+}
+
+pub fn entry(sink: &mut dyn Sink, item: u32) {
+    sink.push(item);
+}

@@ -1,0 +1,19 @@
+//! Fixture: an unwrap in dead code (and in a test) — the audit must
+//! stay silent about both.
+
+pub fn entry(x: u32) -> u32 {
+    x + 1
+}
+
+pub fn never_called(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}
