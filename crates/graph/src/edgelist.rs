@@ -3,6 +3,12 @@
 
 use crate::{Permutation, VertexId, Weight};
 
+/// Upfront-reserve ceiling for [`EdgeList::with_capacity`] (1M edges,
+/// 8 MiB): enough to cover every generator preset without a resize,
+/// small enough that an attacker-named edge count cannot commit
+/// memory it never fills.
+pub const MAX_PREALLOC_EDGES: usize = 1 << 20;
+
 /// A directed graph as a list of `(src, dst)` pairs with optional
 /// per-edge weights.
 ///
@@ -39,10 +45,16 @@ impl EdgeList {
     }
 
     /// Creates an empty edge list with capacity for `cap` edges.
+    ///
+    /// The pre-reserve is clamped to [`MAX_PREALLOC_EDGES`]: callers
+    /// pass spec-derived estimates (hence potentially attacker-named
+    /// numbers), and reserving beyond the clamp upfront buys nothing —
+    /// `Vec` doubling amortizes the rest — while a hostile estimate
+    /// must not commit gigabytes before the first push.
     pub fn with_capacity(num_vertices: usize, cap: usize) -> Self {
         EdgeList {
             num_vertices,
-            edges: Vec::with_capacity(cap),
+            edges: Vec::with_capacity(cap.min(MAX_PREALLOC_EDGES)),
             weights: None,
         }
     }

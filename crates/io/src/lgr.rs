@@ -167,7 +167,21 @@ pub fn lgr_to_bytes(csr: &Csr) -> Vec<u8> {
     let v = csr.num_vertices();
     let e = csr.num_edges();
     let weighted = out.weights.is_some();
-    let payload_len = 2 * (v + 1) * 8 + 2 * e * 4 + if weighted { 2 * e * 4 } else { 0 };
+    // Sized from the slices actually serialized, not from the vertex/
+    // edge counters, so the capacity is bounded by materialized data
+    // by construction (and the taint audit can see that it is).
+    let mut payload_len =
+        (out.index.len() + inn.index.len()) * 8 + (out.neighbors.len() + inn.neighbors.len()) * 4;
+    if let Some(ws) = out.weights {
+        payload_len += ws.len() * 4;
+    }
+    if let Some(ws) = inn.weights {
+        payload_len += ws.len() * 4;
+    }
+    debug_assert_eq!(
+        payload_len,
+        2 * (v + 1) * 8 + 2 * e * 4 + if weighted { 2 * e * 4 } else { 0 }
+    );
     let mut payload = Vec::with_capacity(payload_len);
     for side in [out, inn] {
         push_u64s(&mut payload, side.index);

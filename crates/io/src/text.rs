@@ -58,6 +58,34 @@ fn is_comment(line: &[u8]) -> bool {
     matches!(line.first(), Some(b'#') | Some(b'%'))
 }
 
+/// The shortest possible data entry (`"a b\n"` with one-digit IDs)
+/// can yield two edges (a mirrored symmetric Matrix Market
+/// off-diagonal), so an honest file never produces more than
+/// `len / 2` edges. Pre-reserves are clamped to this estimate.
+const MIN_BYTES_PER_EDGE: usize = 2;
+
+/// Declared or implied vertex counts are bounded by a small multiple
+/// of the input's own length: every vertex a text graph names costs
+/// at least one byte somewhere, so a 60-byte file declaring 4 billion
+/// rows is an allocation bomb, not a dataset. (Graphs with sparse,
+/// astronomically-large ID spaces are rejected by policy — they would
+/// need ID remapping before CSR construction anyway.)
+const MAX_VERTICES_PER_INPUT_BYTE: usize = 8;
+
+/// Rejects a vertex count that would let downstream `O(num_vertices)`
+/// CSR/degree allocations dwarf the input that declared it.
+fn check_vertex_bound(num_vertices: usize, input_len: usize, what: &str) -> Result<(), IoError> {
+    let cap = input_len.saturating_mul(MAX_VERTICES_PER_INPUT_BYTE);
+    if num_vertices > cap {
+        return Err(IoError::Format(format!(
+            "{what} implies {num_vertices} vertices but the input is only {input_len} bytes — \
+             refusing an allocation bomb (limit: {MAX_VERTICES_PER_INPUT_BYTE} vertices per \
+             input byte)"
+        )));
+    }
+    Ok(())
+}
+
 fn parse_token<T: std::str::FromStr>(token: &[u8], what: &str) -> Result<T, String> {
     std::str::from_utf8(token)
         .ok()
@@ -152,9 +180,15 @@ where
         .map(|c| c.max_id as usize + 1)
         .max()
         .unwrap_or(0);
-    let mut edges = Vec::with_capacity(total_edges);
+    check_vertex_bound(num_vertices, text.len(), "the largest vertex ID")?;
+    // Belt-and-braces: `total_edges` is an exact count today, but the
+    // reserve stays bounded by a bytes-derived estimate so no refactor
+    // (or hostile count) can ever make this line reserve more than a
+    // small multiple of the input's own length.
+    let reserve = total_edges.min(text.len() / MIN_BYTES_PER_EDGE + 1);
+    let mut edges = Vec::with_capacity(reserve);
     let mut weights = if weighted {
-        Some(Vec::with_capacity(total_edges))
+        Some(Vec::with_capacity(reserve))
     } else {
         None
     };
@@ -312,6 +346,18 @@ pub fn parse_matrix_market(text: &[u8], weighted: bool, pool: &Pool) -> Result<E
     if num_vertices > VertexId::MAX as usize {
         return Err(IoError::Format(format!(
             "line {dims_line}: {num_vertices} vertices overflow 32-bit vertex IDs"
+        )));
+    }
+    // Declared metadata is attacker-controlled: bound it against the
+    // input's own size before it can drive any allocation. A header
+    // declaring dimensions (or an entry count) far beyond what the
+    // file could possibly contain is hostile, not sparse.
+    check_vertex_bound(num_vertices, text.len(), "the declared size line")?;
+    if nnz > text.len() / MIN_BYTES_PER_EDGE + 1 {
+        return Err(IoError::Format(format!(
+            "line {dims_line}: declared {nnz} entries but the input is only {} bytes — \
+             truncated or hostile file",
+            text.len()
         )));
     }
 

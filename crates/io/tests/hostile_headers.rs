@@ -1,0 +1,108 @@
+//! Hostile-header regression tests: declared metadata (Matrix Market
+//! size lines, SNAP vertex IDs, `.lgr` header counts) is attacker-
+//! controlled, and a few dozen bytes must never drive an allocation
+//! proportional to the numbers they *name*. Every case here must
+//! return `Err` quickly — if one of these OOMs or hangs, the loader
+//! boundary has regressed.
+
+use lgr_io::{lgr_from_bytes, parse_edge_list, parse_matrix_market};
+use lgr_parallel::Pool;
+
+fn pool() -> Pool {
+    Pool::new(2)
+}
+
+#[test]
+fn matrix_market_declared_dimension_bomb_is_rejected() {
+    // ~60 bytes declaring a ~4-billion-row matrix: pre-fix this
+    // passed every check and flowed into a ~32 GB `vec![0usize; n+1]`
+    // CSR build downstream.
+    let text = b"%%MatrixMarket matrix coordinate pattern general\n4000000000 1 1\n1 1\n";
+    let err = parse_matrix_market(text, false, &pool()).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("allocation bomb"),
+        "expected the input-size bound to reject the declared dims, got: {msg}"
+    );
+}
+
+#[test]
+fn matrix_market_declared_nnz_bomb_is_rejected() {
+    // Dimensions are modest but the declared entry count is absurd
+    // for the file's size.
+    let text = b"%%MatrixMarket matrix coordinate pattern general\n4 4 4000000000\n1 1\n";
+    let err = parse_matrix_market(text, false, &pool()).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("truncated or hostile"),
+        "expected the entry-count bound to fire, got: {msg}"
+    );
+}
+
+#[test]
+fn matrix_market_honest_small_files_still_parse() {
+    let text = b"%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n1 2\n2 3\n";
+    let el = parse_matrix_market(text, false, &pool()).unwrap();
+    assert_eq!(el.num_vertices(), 3);
+    // Symmetric: both off-diagonals mirrored.
+    assert_eq!(el.num_edges(), 4);
+}
+
+#[test]
+fn snap_vertex_id_bomb_is_rejected() {
+    // A 13-byte edge list naming vertex 4000000000: `max ID + 1`
+    // would size every per-vertex array in the workspace.
+    let text = b"4000000000 1\n";
+    let err = parse_edge_list(text, false, &pool()).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("allocation bomb"),
+        "expected the vertex-ID bound to reject the huge ID, got: {msg}"
+    );
+}
+
+#[test]
+fn snap_honest_ids_near_the_bound_still_parse() {
+    // num_vertices == 101 with a 400-byte input is far under the
+    // 8-vertices-per-byte policy bound.
+    let mut text = String::new();
+    for i in 0..100 {
+        text.push_str(&format!("{i} 100\n"));
+    }
+    let el = parse_edge_list(text.as_bytes(), false, &pool()).unwrap();
+    assert_eq!(el.num_vertices(), 101);
+    assert_eq!(el.num_edges(), 100);
+}
+
+/// Builds a 40-byte `.lgr` header (magic + flags + reserved + vertex
+/// count + edge count + checksum) over an empty payload.
+fn lgr_header(v: u64, e: u64, flags: u32) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"LGRCSR01");
+    bytes.extend_from_slice(&flags.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    bytes.extend_from_slice(&v.to_le_bytes());
+    bytes.extend_from_slice(&e.to_le_bytes());
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    bytes
+}
+
+#[test]
+fn lgr_header_count_bombs_are_rejected_without_allocation() {
+    // Huge-but-representable counts: the payload length check must
+    // reject them before any `vec![0; n]` materializes.
+    for (v, e) in [
+        (4_000_000_000u64, 1u64),
+        (1, 4_000_000_000),
+        (u64::MAX / 16, u64::MAX / 16),
+        (u64::MAX, u64::MAX),
+    ] {
+        for flags in [0u32, 1] {
+            let bytes = lgr_header(v, e, flags);
+            assert!(
+                lgr_from_bytes(&bytes).is_err(),
+                "header v={v} e={e} flags={flags} must be rejected"
+            );
+        }
+    }
+}

@@ -37,8 +37,9 @@
 
 use std::collections::HashMap;
 
-use crate::callgraph::Graph;
+use crate::callgraph::{Graph, Resolver};
 use crate::parser::PanicKind;
+use crate::taint;
 use crate::SourceFile;
 
 /// Selects entry-point functions: any non-test fn whose file starts
@@ -101,6 +102,14 @@ pub struct AuditConfig {
     /// Path prefixes whose pub `SyncSlice`/`par_chunks_mut` wrappers
     /// need test coverage.
     pub wrapper_prefixes: Vec<String>,
+    /// Taint sources: data-ish parameters of matching fns are
+    /// attacker-controlled (see [`crate::taint`]).
+    pub taint_sources: Vec<EntryPattern>,
+    /// Regions where `taint-*` findings can never be ratcheted.
+    /// Separate from [`AuditConfig::zero_zones`] so the panic-family
+    /// ratchet entries on the text loaders stay legal while tainted
+    /// allocation sinks there remain unratchetable.
+    pub taint_zero_zones: Vec<ZeroZone>,
 }
 
 impl Default for AuditConfig {
@@ -117,16 +126,23 @@ impl Default for AuditConfig {
                 .collect(),
             name_prefixes: vec!["parse_".to_owned()],
         };
+        let entries = vec![
+            entry("crates/serve/src", None),
+            entry("crates/engine/src/spec.rs", Some("from_str")),
+            entry("crates/engine/src/app.rs", Some("from_str")),
+            entry("crates/engine/src/dataset.rs", Some("from_str")),
+            entry("crates/cachesim/src/config.rs", Some("from_str")),
+            entry("crates/io/src/lgr.rs", Some("lgr_from_bytes")),
+            entry("crates/io/src/lgr.rs", Some("load_lgr")),
+        ];
+        // Taint sources are the panic-audit entry points plus the
+        // text loaders, whose header fields (declared dims, edge
+        // counts) are attacker-declared metadata.
+        let mut taint_sources = entries.clone();
+        taint_sources.push(entry("crates/io/src/text.rs", Some("parse_edge_list")));
+        taint_sources.push(entry("crates/io/src/text.rs", Some("parse_matrix_market")));
         AuditConfig {
-            entries: vec![
-                entry("crates/serve/src", None),
-                entry("crates/engine/src/spec.rs", Some("from_str")),
-                entry("crates/engine/src/app.rs", Some("from_str")),
-                entry("crates/engine/src/dataset.rs", Some("from_str")),
-                entry("crates/cachesim/src/config.rs", Some("from_str")),
-                entry("crates/io/src/lgr.rs", Some("lgr_from_bytes")),
-                entry("crates/io/src/lgr.rs", Some("load_lgr")),
-            ],
+            entries,
             zero_zones: vec![
                 ZeroZone::Prefix("crates/serve/src".to_owned()),
                 ZeroZone::Prefix("crates/io/src/lgr.rs".to_owned()),
@@ -143,6 +159,12 @@ impl Default for AuditConfig {
                 "crates/sync/src".to_owned(),
             ],
             wrapper_prefixes: vec!["crates/parallel/src".to_owned()],
+            taint_sources,
+            taint_zero_zones: vec![
+                ZeroZone::Prefix("crates/serve/src".to_owned()),
+                ZeroZone::Prefix("crates/io/src/lgr.rs".to_owned()),
+                ZeroZone::Prefix("crates/io/src/text.rs".to_owned()),
+            ],
         }
     }
 }
@@ -183,6 +205,9 @@ pub struct AuditOutcome {
     pub parent: Vec<Option<(usize, usize)>>,
     /// Gating site groups, sorted by (file, fn, rule).
     pub groups: Vec<SiteGroup>,
+    /// Tainted-sink findings with provenance chains (for
+    /// `--explain`); already folded into `groups`.
+    pub taint_sites: Vec<taint::TaintSite>,
     /// Informational summary lines.
     pub info: Vec<String>,
 }
@@ -321,13 +346,34 @@ pub fn run(files: &[SourceFile], cfg: &AuditConfig) -> AuditOutcome {
         }
     }
 
+    // --- taint pass ---------------------------------------------
+    let resolver = Resolver::build(&graph.fns);
+    let taint_out = taint::run(&graph.fns, &resolver, &cfg.taint_sources);
+    for s in &taint_out.sites {
+        let f = &graph.fns[s.fn_idx];
+        let key = (f.file.clone(), f.display_name(), s.rule);
+        let g = by_key.entry(key).or_insert_with(|| SiteGroup {
+            file: f.file.clone(),
+            fn_disp: f.display_name(),
+            fn_name: f.name.clone(),
+            rule: s.rule,
+            lines: Vec::new(),
+            sample: s.detail.clone(),
+            zero_zone: cfg
+                .taint_zero_zones
+                .iter()
+                .any(|z| z.covers(&f.file, &f.name)),
+        });
+        g.lines.push(s.line);
+    }
+
     let mut groups: Vec<SiteGroup> = by_key.into_values().collect();
     for g in &mut groups {
         g.lines.sort_unstable();
     }
     groups.sort_by(|a, b| (&a.file, &a.fn_disp, a.rule).cmp(&(&b.file, &b.fn_disp, b.rule)));
 
-    let info = vec![
+    let mut info = vec![
         format!(
             "entry points: {} fns; reachable: {reachable} non-test fns",
             roots.len()
@@ -342,11 +388,13 @@ pub fn run(files: &[SourceFile], cfg: &AuditConfig) -> AuditOutcome {
             info_counts.get(&PanicKind::Arith).copied().unwrap_or(0),
         ),
     ];
+    info.extend(taint_out.info.iter().cloned());
 
     AuditOutcome {
         graph,
         parent,
         groups,
+        taint_sites: taint_out.sites,
         info,
     }
 }
@@ -405,8 +453,28 @@ pub fn explain(outcome: &AuditOutcome, query: &str) -> Vec<String> {
             }
         }
     }
+    for s in &outcome.taint_sites {
+        let f = &g.fns[s.fn_idx];
+        let loc = format!("{}:{}", f.file, s.line);
+        let matched = loc == query
+            || f.display_name() == query
+            || f.display_name().contains(query)
+            || loc.starts_with(query);
+        if !matched {
+            continue;
+        }
+        out.push(format!(
+            "site {loc} [{}] `{}` in {}",
+            s.rule,
+            s.detail,
+            f.display_name()
+        ));
+        for step in &s.chain {
+            out.push(format!("  -> {step}"));
+        }
+    }
     if out.is_empty() {
-        out.push(format!("no gating panic site matches `{query}`"));
+        out.push(format!("no gating panic or taint site matches `{query}`"));
     }
     out
 }
@@ -434,6 +502,8 @@ mod tests {
             zero_zones: vec![],
             provenance_prefixes: vec![],
             wrapper_prefixes: vec![],
+            taint_sources: vec![],
+            taint_zero_zones: vec![],
         }
     }
 
@@ -530,6 +600,8 @@ mod tests {
             zero_zones: vec![],
             provenance_prefixes: vec!["crates/parallel/src".to_owned()],
             wrapper_prefixes: vec!["crates/parallel/src".to_owned()],
+            taint_sources: vec![],
+            taint_zero_zones: vec![],
         };
         let out = run(&files, &cfg);
         let rules: Vec<(&str, &str)> = out

@@ -52,6 +52,121 @@ pub struct Graph {
     pub edges: Vec<Vec<Edge>>,
 }
 
+/// The name-resolution indices, shared between the call-graph edge
+/// builder and the taint pass so both resolve a call site to exactly
+/// the same target set.
+pub struct Resolver {
+    methods_by_name: HashMap<String, Vec<usize>>,
+    methods_by_ty: HashMap<(String, String), Vec<usize>>,
+    free_by_name: HashMap<String, Vec<usize>>,
+    from_str_all: Vec<usize>,
+    /// Every workspace `fmt` method (format-macro dispatch).
+    pub fmt_all: Vec<usize>,
+}
+
+impl Resolver {
+    /// Indexes the parsed items.
+    pub fn build(fns: &[FnItem]) -> Resolver {
+        let mut r = Resolver {
+            methods_by_name: HashMap::new(),
+            methods_by_ty: HashMap::new(),
+            free_by_name: HashMap::new(),
+            from_str_all: Vec::new(),
+            fmt_all: Vec::new(),
+        };
+        for (i, f) in fns.iter().enumerate() {
+            match &f.self_ty {
+                Some(ty) => {
+                    r.methods_by_name.entry(f.name.clone()).or_default().push(i);
+                    r.methods_by_ty
+                        .entry((ty.clone(), f.name.clone()))
+                        .or_default()
+                        .push(i);
+                    if f.name == "fmt" {
+                        r.fmt_all.push(i);
+                    }
+                }
+                None => r.free_by_name.entry(f.name.clone()).or_default().push(i),
+            }
+            if f.name == "from_str" {
+                r.from_str_all.push(i);
+            }
+        }
+        r
+    }
+
+    fn on_type(&self, ty: &str, name: &str) -> Vec<usize> {
+        self.methods_by_ty
+            .get(&(ty.to_owned(), name.to_owned()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn fan_out(&self, name: &str) -> Vec<usize> {
+        self.methods_by_name.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Resolves one call site in `caller` to its workspace target
+    /// set, applying the module-level heuristics. An empty set means
+    /// a std/builtin call.
+    pub fn targets(
+        &self,
+        caller: &FnItem,
+        name: &str,
+        recv: &Recv,
+        turbofish: Option<&str>,
+    ) -> Vec<usize> {
+        if name == "parse" {
+            // `.parse()` dispatches through `FromStr`.
+            let narrowed = turbofish.map(|ty| self.on_type(ty, "from_str"));
+            return match narrowed {
+                Some(t) if !t.is_empty() => t,
+                _ => {
+                    let mut t = self.from_str_all.clone();
+                    t.extend(self.fan_out("parse"));
+                    t
+                }
+            };
+        }
+        match recv {
+            Recv::Path(ty) => {
+                let ty = if ty == "Self" {
+                    caller.self_ty.as_deref().unwrap_or("Self")
+                } else {
+                    ty.as_str()
+                };
+                self.on_type(ty, name)
+            }
+            Recv::SelfRecv => {
+                let direct = caller
+                    .self_ty
+                    .as_deref()
+                    .map(|ty| self.on_type(ty, name))
+                    .unwrap_or_default();
+                if direct.is_empty() {
+                    self.fan_out(name)
+                } else {
+                    direct
+                }
+            }
+            Recv::Var(v) => {
+                let known = caller
+                    .var_types
+                    .get(v)
+                    .map(|ty| self.on_type(ty, name))
+                    .unwrap_or_default();
+                if known.is_empty() {
+                    self.fan_out(name)
+                } else {
+                    known
+                }
+            }
+            Recv::Expr => self.fan_out(name),
+            Recv::None => self.free_by_name.get(name).cloned().unwrap_or_default(),
+        }
+    }
+}
+
 impl Graph {
     /// Parses every file and resolves calls into edges.
     pub fn build(files: &[SourceFile]) -> Graph {
@@ -59,106 +174,21 @@ impl Graph {
         for f in files {
             fns.extend(parse_file(&f.rel, &f.src));
         }
-
-        // Name indices.
-        let mut methods_by_name: HashMap<&str, Vec<usize>> = HashMap::new();
-        let mut methods_by_ty: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
-        let mut free_by_name: HashMap<&str, Vec<usize>> = HashMap::new();
-        let mut from_str_all: Vec<usize> = Vec::new();
-        let mut fmt_all: Vec<usize> = Vec::new();
-        for (i, f) in fns.iter().enumerate() {
-            match &f.self_ty {
-                Some(ty) => {
-                    methods_by_name.entry(&f.name).or_default().push(i);
-                    methods_by_ty
-                        .entry((ty.as_str(), &f.name))
-                        .or_default()
-                        .push(i);
-                    if f.name == "fmt" {
-                        fmt_all.push(i);
-                    }
-                }
-                None => free_by_name.entry(&f.name).or_default().push(i),
-            }
-            if f.name == "from_str" {
-                from_str_all.push(i);
-            }
-        }
-        let on_type = |ty: &str, name: &str| -> Vec<usize> {
-            methods_by_ty.get(&(ty, name)).cloned().unwrap_or_default()
-        };
-        let fan_out =
-            |name: &str| -> Vec<usize> { methods_by_name.get(name).cloned().unwrap_or_default() };
+        let resolver = Resolver::build(&fns);
 
         let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); fns.len()];
         for (i, f) in fns.iter().enumerate() {
             let mut out: Vec<Edge> = Vec::new();
             for c in &f.calls {
-                let line = c.line;
-                if c.name == "parse" {
-                    // `.parse()` dispatches through `FromStr`.
-                    let narrowed = c.turbofish.as_deref().map(|ty| on_type(ty, "from_str"));
-                    let targets: Vec<usize> = match narrowed {
-                        Some(t) if !t.is_empty() => t,
-                        _ => {
-                            let mut t = from_str_all.clone();
-                            t.extend(fan_out("parse"));
-                            t
-                        }
-                    };
-                    out.extend(targets.into_iter().map(|t| (t, line)));
-                    continue;
-                }
-                match &c.recv {
-                    Recv::Path(ty) => {
-                        let ty = if ty == "Self" {
-                            f.self_ty.as_deref().unwrap_or("Self")
-                        } else {
-                            ty.as_str()
-                        };
-                        out.extend(on_type(ty, &c.name).into_iter().map(|t| (t, line)));
-                    }
-                    Recv::SelfRecv => {
-                        let direct = f
-                            .self_ty
-                            .as_deref()
-                            .map(|ty| on_type(ty, &c.name))
-                            .unwrap_or_default();
-                        if direct.is_empty() {
-                            out.extend(fan_out(&c.name).into_iter().map(|t| (t, line)));
-                        } else {
-                            out.extend(direct.into_iter().map(|t| (t, line)));
-                        }
-                    }
-                    Recv::Var(v) => {
-                        let known = f
-                            .var_types
-                            .get(v)
-                            .map(|ty| on_type(ty, &c.name))
-                            .unwrap_or_default();
-                        if known.is_empty() {
-                            out.extend(fan_out(&c.name).into_iter().map(|t| (t, line)));
-                        } else {
-                            out.extend(known.into_iter().map(|t| (t, line)));
-                        }
-                    }
-                    Recv::Expr => {
-                        out.extend(fan_out(&c.name).into_iter().map(|t| (t, line)));
-                    }
-                    Recv::None => {
-                        out.extend(
-                            free_by_name
-                                .get(c.name.as_str())
-                                .map(Vec::as_slice)
-                                .unwrap_or(&[])
-                                .iter()
-                                .map(|&t| (t, line)),
-                        );
-                    }
-                }
+                out.extend(
+                    resolver
+                        .targets(f, &c.name, &c.recv, c.turbofish.as_deref())
+                        .into_iter()
+                        .map(|t| (t, c.line)),
+                );
             }
             if f.uses_format {
-                out.extend(fmt_all.iter().map(|&t| (t, f.line)));
+                out.extend(resolver.fmt_all.iter().map(|&t| (t, f.line)));
             }
             out.sort_unstable();
             out.dedup();

@@ -23,6 +23,7 @@ pub mod lexer;
 pub mod lint;
 pub mod parser;
 pub mod ratchet;
+pub mod taint;
 
 /// One analyzer result: a location plus a rule identifier and a
 /// human-readable message. Both `lint` and `audit` report these.

@@ -8,8 +8,11 @@
 //!   Flags:
 //!   * `--report <path>` — also write the full findings report (all
 //!     acknowledged groups included) to a file, for CI artifacts;
+//!   * `--json <path>` — also write a machine-readable JSON report
+//!     (info, site groups, taint chains, gating findings);
 //!   * `--explain <site>` — print the entry-point → panic-site call
-//!     chain for a site (`file:line`, `Type::fn`, or substring);
+//!     chain, or the taint source→sink provenance chain, for a site
+//!     (`file:line`, `Type::fn`, or substring);
 //!   * `--update-ratchet` — rewrite `xtask/audit.ratchet` from
 //!     current findings, preserving existing justifications.
 //!
@@ -53,20 +56,21 @@ fn run_lint() {
 
 fn run_audit(args: &[String]) {
     let mut report_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
     let mut explain_query: Option<String> = None;
     let mut update = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--report" | "--explain" => {
+            "--report" | "--json" | "--explain" => {
                 let Some(v) = args.get(i + 1) else {
                     eprintln!("xtask audit: {} needs a value", args[i]);
                     std::process::exit(2);
                 };
-                if args[i] == "--report" {
-                    report_path = Some(v.clone());
-                } else {
-                    explain_query = Some(v.clone());
+                match args[i].as_str() {
+                    "--report" => report_path = Some(v.clone()),
+                    "--json" => json_path = Some(v.clone()),
+                    _ => explain_query = Some(v.clone()),
                 }
                 i += 2;
             }
@@ -121,7 +125,12 @@ fn run_audit(args: &[String]) {
             std::process::exit(1);
         }
     };
-    let findings = ratchet::check(&outcome.groups, &entries, &cfg.zero_zones);
+    let findings = ratchet::check(
+        &outcome.groups,
+        &entries,
+        &cfg.zero_zones,
+        &cfg.taint_zero_zones,
+    );
 
     if let Some(path) = &report_path {
         let mut text = String::new();
@@ -153,6 +162,14 @@ fn run_audit(args: &[String]) {
         }
     }
 
+    if let Some(path) = &json_path {
+        let text = render_json(&outcome, &findings);
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("xtask audit: cannot write json report {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
     for line in &outcome.info {
         println!("info: {line}");
     }
@@ -168,4 +185,93 @@ fn run_audit(args: &[String]) {
         eprintln!("xtask audit: {} finding(s)", findings.len());
         std::process::exit(1);
     }
+}
+
+/// Minimal JSON string rendering — xtask is dependency-free by
+/// design, and the report shape is flat enough to emit by hand.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_list(items: impl Iterator<Item = String>) -> String {
+    let parts: Vec<String> = items.map(|s| json_str(&s)).collect();
+    format!("[{}]", parts.join(", "))
+}
+
+/// The machine-readable report behind `--json`: summary lines, every
+/// site group (acknowledged or not), every taint chain, and the
+/// gating findings — the same data CI's failure artifact captures.
+fn render_json(outcome: &audit::AuditOutcome, findings: &[xtask::Finding]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"info\": {},\n",
+        json_str_list(outcome.info.iter().cloned())
+    ));
+    let groups: Vec<String> = outcome
+        .groups
+        .iter()
+        .map(|g| {
+            format!(
+                "    {{\"file\": {}, \"fn\": {}, \"rule\": {}, \"count\": {}, \"lines\": {:?}, \
+                 \"zero_zone\": {}}}",
+                json_str(&g.file),
+                json_str(&g.fn_disp),
+                json_str(g.rule),
+                g.count(),
+                g.lines,
+                g.zero_zone
+            )
+        })
+        .collect();
+    s.push_str(&format!("  \"groups\": [\n{}\n  ],\n", groups.join(",\n")));
+    let taints: Vec<String> = outcome
+        .taint_sites
+        .iter()
+        .map(|t| {
+            let f = &outcome.graph.fns[t.fn_idx];
+            format!(
+                "    {{\"file\": {}, \"fn\": {}, \"line\": {}, \"rule\": {}, \"detail\": {}, \
+                 \"chain\": {}}}",
+                json_str(&f.file),
+                json_str(&f.display_name()),
+                t.line,
+                json_str(t.rule),
+                json_str(&t.detail),
+                json_str_list(t.chain.iter().cloned())
+            )
+        })
+        .collect();
+    s.push_str(&format!(
+        "  \"taint_sites\": [\n{}\n  ],\n",
+        taints.join(",\n")
+    ));
+    let fnds: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&f.path.display().to_string()),
+                f.line,
+                json_str(f.rule),
+                json_str(&f.message)
+            )
+        })
+        .collect();
+    s.push_str(&format!("  \"findings\": [\n{}\n  ],\n", fnds.join(",\n")));
+    s.push_str(&format!("  \"clean\": {}\n}}\n", findings.is_empty()));
+    s
 }

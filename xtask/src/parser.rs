@@ -60,6 +60,116 @@ pub struct Call {
     pub line: usize,
 }
 
+/// A flattened expression: the variable reads and calls it performs,
+/// in source order. Operators, literals, and grouping are erased —
+/// only the dataflow-relevant atoms remain, which is exactly what the
+/// taint pass ([`crate::taint`]) consumes.
+#[derive(Debug, Clone, Default)]
+pub struct Expr {
+    /// Reads and calls, in order.
+    pub nodes: Vec<ExprNode>,
+    /// 1-based line the expression starts on.
+    pub line: usize,
+}
+
+impl Expr {
+    fn push_chain(&mut self, chain: &mut Vec<ExprNode>) {
+        self.nodes.append(chain);
+    }
+}
+
+/// One atom of a flattened [`Expr`].
+#[derive(Debug, Clone)]
+pub enum ExprNode {
+    /// A read of a named variable or path segment.
+    Ident(String),
+    /// A parenthesized sub-expression: `(a + b).min(c)`.
+    Group(Box<Expr>),
+    /// A nested call with its receiver chain and arguments.
+    Call(CallExpr),
+}
+
+/// A call inside an [`Expr`], with enough structure for argument- and
+/// receiver-level dataflow (unlike the flat [`Call`] list, which only
+/// feeds the call graph).
+#[derive(Debug, Clone)]
+pub struct CallExpr {
+    /// Method/function name. Synthetic names: `__vec_len` for
+    /// `vec![elem; len]` (args = `[elem, len]`).
+    pub name: String,
+    /// Receiver shape, mirroring [`Call::recv`].
+    pub recv: Recv,
+    /// The receiver expression of a method call, when present.
+    pub receiver: Option<Box<Expr>>,
+    /// Argument expressions, in order.
+    pub args: Vec<Expr>,
+    /// `method::<T>(..)` type argument's first capitalized segment.
+    pub turbofish: Option<String>,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// One statement of a function body, in flattened linear order.
+/// Nested blocks (`if`/`match`/loops) are spliced inline, so the
+/// sequence approximates dominance: a [`Stmt::Guard`] is emitted
+/// *after* the statements of the guarded block, meaning it dominates
+/// everything that follows it in the list.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `let <pat> = expr;` — `names` are the bound variables.
+    Let {
+        /// Variables bound by the pattern.
+        names: Vec<String>,
+        /// Initializer (empty for `let x;`).
+        expr: Expr,
+        /// 1-based line.
+        line: usize,
+    },
+    /// `name = expr;` / `name.field = expr;` / `name += expr;` —
+    /// `name` is the base variable (weak update for taint).
+    Assign {
+        /// Base variable being assigned through.
+        name: String,
+        /// Right-hand side.
+        expr: Expr,
+        /// 1-based line.
+        line: usize,
+    },
+    /// An expression statement (side effects only).
+    Discard(Expr),
+    /// A comparison-guarded early exit (`if x > cap { return Err… }`):
+    /// every named variable in the condition is considered
+    /// bounds-checked from here on.
+    Guard {
+        /// Variables appearing in the comparison condition.
+        vars: Vec<String>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// `return expr;` or a tail expression in return position.
+    Return {
+        /// The returned expression.
+        expr: Expr,
+        /// 1-based line.
+        line: usize,
+    },
+    /// A `for` loop: its iterated bound and whether the body grows a
+    /// collection (push/extend/insert/…).
+    Loop {
+        /// The iterated expression.
+        bound: Expr,
+        /// Body contains collection-growing calls.
+        allocates: bool,
+        /// The bound is a counted range (`a..b`) rather than an
+        /// iterator over already-materialized data — only counted
+        /// loops can commit resources proportional to a number the
+        /// attacker names for free.
+        counted: bool,
+        /// 1-based line.
+        line: usize,
+    },
+}
+
 /// Classification of a potential panic site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PanicKind {
@@ -161,6 +271,14 @@ pub struct FnItem {
     /// Best-effort local/param types: name → first capitalized path
     /// segment of the annotation or initializer.
     pub var_types: HashMap<String, String>,
+    /// Parameters in declaration order (excluding `self`):
+    /// name → first type-path segment, primitives included
+    /// (`usize`, `str`, …), unannotated/pattern params `None`.
+    pub params: Vec<(String, Option<String>)>,
+    /// Whether the parameter list starts with a `self` receiver.
+    pub has_self: bool,
+    /// Flattened statement list of the body (see [`Stmt`]).
+    pub stmts: Vec<Stmt>,
 }
 
 impl FnItem {
@@ -499,6 +617,9 @@ fn parse_fn(
         unsafe_lines: if is_unsafe { vec![line] } else { Vec::new() },
         body_idents: HashSet::new(),
         var_types: HashMap::new(),
+        params: Vec::new(),
+        has_self: false,
+        stmts: Vec::new(),
     };
 
     // Generics, then the parameter list.
@@ -526,10 +647,21 @@ fn parse_fn(
     }
     let body_end = skip_balanced(code, i, '{', '}');
     scan_body(code, i + 1, body_end.saturating_sub(1), &mut item);
+    item.stmts = scan_stmts(code, i + 1, body_end.saturating_sub(1), true);
     Some((item, body_end))
 }
 
-/// Records parameter names and their best-effort types.
+/// Primitive-ish type names worth tracking for dataflow (the
+/// capitalized workspace types are tracked regardless).
+const PRIMITIVE_TYPES: &[&str] = &[
+    "str", "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+    "f32", "f64", "bool", "char",
+];
+
+/// Records parameter names and their best-effort types, both into
+/// `var_types` (first capitalized segment — the call graph's view)
+/// and into the ordered `params` list (primitives included — the
+/// taint pass's view).
 fn parse_params(code: &[&Token], start: usize, end: usize, item: &mut FnItem) {
     let mut i = start;
     let mut at_name = true;
@@ -540,21 +672,35 @@ fn parse_params(code: &[&Token], start: usize, end: usize, item: &mut FnItem) {
             Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('<') => nest += 1,
             Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('>') => nest -= 1,
             Tok::Punct(',') if nest == 0 => {
+                if let Some(name) = pending.take() {
+                    item.params.push((name, None));
+                }
                 at_name = true;
-                pending = None;
             }
             Tok::Punct(':') if nest == 0 => at_name = false,
-            Tok::Ident(w) if nest == 0 && at_name && !is_keyword(w) && w != "self" => {
-                pending = Some(w.clone());
+            Tok::Ident(w) if nest == 0 && at_name && !is_keyword(w) => {
+                if w == "self" {
+                    item.has_self = true;
+                } else {
+                    pending = Some(w.clone());
+                }
             }
-            Tok::Ident(w) if !at_name && is_capitalized(w) => {
+            Tok::Ident(w)
+                if !at_name && (is_capitalized(w) || PRIMITIVE_TYPES.contains(&w.as_str())) =>
+            {
                 if let Some(name) = pending.take() {
-                    item.var_types.insert(name, w.clone());
+                    if is_capitalized(w) {
+                        item.var_types.insert(name.clone(), w.clone());
+                    }
+                    item.params.push((name, Some(w.clone())));
                 }
             }
             _ => {}
         }
         i += 1;
+    }
+    if let Some(name) = pending.take() {
+        item.params.push((name, None));
     }
 }
 
@@ -809,6 +955,715 @@ fn scan_index(code: &[&Token], i: usize, item: &mut FnItem) {
             detail: format!("{recv}[..]"),
         });
     }
+}
+
+// ---- statement/expression scanner (taint-pass IR) -----------------
+
+/// Method names that grow a collection — a `for` loop whose body
+/// contains one is an allocation-bearing loop ([`Stmt::Loop`]).
+const GROW_CALLS: &[&str] = &[
+    "push",
+    "push_str",
+    "extend",
+    "extend_from_slice",
+    "insert",
+    "append",
+    "with_capacity",
+    "reserve",
+    "resize",
+    "collect",
+];
+
+/// Block-interior idents marking a comparison-guarded `if` as an
+/// early exit (so the condition's variables are bounds-checked for
+/// everything after the `if`).
+const EXIT_IDENTS: &[&str] = &["return", "Err", "break", "continue"];
+
+/// How [`scan_expr`] stopped.
+#[derive(PartialEq, Clone, Copy)]
+enum ExprStop {
+    /// Depth-0 `;` (consumed).
+    Semi,
+    /// Depth-0 `,` (consumed) — match arms, argument lists.
+    Comma,
+    /// Depth-0 `{` (not consumed) — statement headers, `=>` arms.
+    Brace,
+    /// Region end or a stray depth-0 `}`.
+    End,
+}
+
+/// Every token in `from..end` is statement chaff (`;`/`,`), so a
+/// block ending at `from` sits in tail (return) position.
+fn only_trailing(code: &[&Token], from: usize, end: usize) -> bool {
+    (from..end).all(|k| is_punct(code[k], ';') || is_punct(code[k], ','))
+}
+
+/// Scans every expression piece in `start..end` (splitting on
+/// depth-0 commas/semicolons) into one flattened [`Expr`].
+fn scan_all_exprs(code: &[&Token], start: usize, end: usize) -> Expr {
+    let mut all = Expr {
+        nodes: Vec::new(),
+        line: code.get(start).map_or(0, |t| t.line),
+    };
+    let mut p = start;
+    while p < end {
+        let (e, np, _) = scan_expr(code, p, end, false);
+        all.nodes.extend(e.nodes);
+        p = if np > p { np } else { p + 1 };
+    }
+    all
+}
+
+/// Scans one expression starting at `start`, collecting variable
+/// reads and calls in order. Postfix chains (`a.b(x).c(y)`) nest the
+/// receiver inside the [`CallExpr`]; everything else flattens.
+/// Stops at a depth-0 `;`/`,`, at a depth-0 `{` when `stop_on_brace`
+/// (statement headers) or when the `{` follows a `=>` arrow (match
+/// arms), or at the region end. Returns the expression, the index
+/// just past what was consumed, and how it stopped.
+fn scan_expr(
+    code: &[&Token],
+    start: usize,
+    end: usize,
+    stop_on_brace: bool,
+) -> (Expr, usize, ExprStop) {
+    let mut e = Expr {
+        nodes: Vec::new(),
+        line: code.get(start).map_or(0, |t| t.line),
+    };
+    let mut chain: Vec<ExprNode> = Vec::new();
+    let mut brace_depth = 0usize;
+    let mut i = start;
+    while i < end {
+        match &code[i].tok {
+            Tok::Ident(w) if w == "as" => {
+                // Skip the cast's type path so it isn't read as vars.
+                i += 1;
+                while i < end && (matches!(code[i].tok, Tok::Ident(_)) || is_punct(code[i], ':')) {
+                    i += 1;
+                }
+            }
+            Tok::Ident(w) if is_keyword(w) => i += 1,
+            Tok::Ident(w) => {
+                let next = code.get(i + 1).filter(|_| i + 1 < end);
+                if next.is_some_and(|t| is_punct(t, '!'))
+                    && !code.get(i + 2).is_some_and(|t| is_punct(t, '='))
+                {
+                    i = scan_expr_macro(code, i, end, w, &mut e, &mut chain);
+                } else if next.is_some_and(|t| is_punct(t, '(')) {
+                    i = scan_expr_call(code, i, i + 1, end, w, None, &mut e, &mut chain);
+                } else if next.is_some_and(|t| is_punct(t, ':'))
+                    && code.get(i + 2).is_some_and(|t| is_punct(t, ':'))
+                    && code.get(i + 3).is_some_and(|t| is_punct(t, '<'))
+                {
+                    // Turbofish: `name::<T>(…)`.
+                    let after = skip_balanced(code, i + 3, '<', '>');
+                    if code.get(after).is_some_and(|t| is_punct(t, '(')) && after < end {
+                        let tf = (i + 4..after)
+                            .find_map(|k| ident(code[k]).filter(|s| is_capitalized(s)))
+                            .map(str::to_owned);
+                        i = scan_expr_call(code, i, after, end, w, tf, &mut e, &mut chain);
+                    } else {
+                        chain.push(ExprNode::Ident(w.clone()));
+                        i += 1;
+                    }
+                } else {
+                    chain.push(ExprNode::Ident(w.clone()));
+                    i += 1;
+                }
+            }
+            Tok::Punct(';') if brace_depth == 0 => {
+                e.push_chain(&mut chain);
+                return (e, i + 1, ExprStop::Semi);
+            }
+            Tok::Punct(',') if brace_depth == 0 => {
+                e.push_chain(&mut chain);
+                return (e, i + 1, ExprStop::Comma);
+            }
+            Tok::Punct('{') => {
+                let after_arrow =
+                    i >= 2 && is_punct(code[i - 1], '>') && is_punct(code[i - 2], '=');
+                if brace_depth == 0 && (stop_on_brace || after_arrow) {
+                    e.push_chain(&mut chain);
+                    return (e, i, ExprStop::Brace);
+                }
+                brace_depth += 1;
+                e.push_chain(&mut chain);
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                if brace_depth == 0 {
+                    e.push_chain(&mut chain);
+                    return (e, i, ExprStop::End);
+                }
+                brace_depth -= 1;
+                e.push_chain(&mut chain);
+                i += 1;
+            }
+            Tok::Punct('(') => {
+                let close = skip_balanced(code, i, '(', ')');
+                let inner = scan_all_exprs(code, i + 1, close.saturating_sub(1));
+                // A parenthesized group starts a fresh postfix chain:
+                // `(a + b).min(c)`.
+                e.push_chain(&mut chain);
+                chain.push(ExprNode::Group(Box::new(inner)));
+                i = close;
+            }
+            Tok::Punct('[') => {
+                let close = skip_balanced(code, i, '[', ']');
+                let inner = scan_all_exprs(code, i + 1, close.saturating_sub(1));
+                // Indexing keeps the chain (`x[i].m()`); array
+                // literals start one. Either way the interior reads
+                // join the chain.
+                chain.push(ExprNode::Group(Box::new(inner)));
+                i = close;
+            }
+            // `.`/`?`/`:` continue a postfix chain or path.
+            Tok::Punct('.') | Tok::Punct('?') | Tok::Punct(':') => i += 1,
+            Tok::Str | Tok::Char | Tok::Number | Tok::Lifetime => i += 1,
+            Tok::Punct(';') | Tok::Punct(',') => i += 1, // depth > 0
+            _ => {
+                // Any other punct is an operator: value boundary.
+                e.push_chain(&mut chain);
+                i += 1;
+            }
+        }
+    }
+    e.push_chain(&mut chain);
+    (e, end, ExprStop::End)
+}
+
+/// Handles a call at `name` whose `(` sits at `open`: classifies the
+/// receiver from the pending chain / path lookback, recursively scans
+/// the arguments, and pushes the [`CallExpr`] as the new chain head.
+/// Returns the index just past the closing `)`.
+#[allow(clippy::too_many_arguments)]
+fn scan_expr_call(
+    code: &[&Token],
+    name_idx: usize,
+    open: usize,
+    end: usize,
+    name: &str,
+    turbofish: Option<String>,
+    e: &mut Expr,
+    chain: &mut Vec<ExprNode>,
+) -> usize {
+    let line = code[name_idx].line;
+    let prev = name_idx.checked_sub(1).map(|p| &code[p].tok);
+    let (recv, receiver) = match prev {
+        Some(Tok::Punct('.')) => {
+            let shape = match chain.as_slice() {
+                [ExprNode::Ident(v)] if v == "self" => Recv::SelfRecv,
+                [ExprNode::Ident(v)] => Recv::Var(v.clone()),
+                _ => Recv::Expr,
+            };
+            let rexpr = Expr {
+                nodes: std::mem::take(chain),
+                line,
+            };
+            (shape, Some(Box::new(rexpr)))
+        }
+        Some(Tok::Punct(':'))
+            if name_idx
+                .checked_sub(2)
+                .is_some_and(|p| matches!(code[p].tok, Tok::Punct(':'))) =>
+        {
+            // Qualifier idents were chained as (clean) type reads.
+            chain.clear();
+            let q = name_idx.checked_sub(3).and_then(|p| ident(code[p]));
+            match q {
+                Some(q) if is_capitalized(q) => (Recv::Path(q.to_owned()), None),
+                _ => (Recv::None, None),
+            }
+        }
+        _ => (Recv::None, None),
+    };
+    let close = skip_balanced(code, open, '(', ')');
+    let interior_end = close.saturating_sub(1).min(end);
+    let mut args = Vec::new();
+    let mut p = open + 1;
+    while p < interior_end {
+        let (a, np, _) = scan_expr(code, p, interior_end, false);
+        args.push(a);
+        p = if np > p { np } else { p + 1 };
+    }
+    e.push_chain(chain);
+    chain.push(ExprNode::Call(CallExpr {
+        name: name.to_owned(),
+        recv,
+        receiver,
+        args,
+        turbofish,
+        line,
+    }));
+    close
+}
+
+/// Handles a macro at `name !`: `vec![elem; len]` becomes a synthetic
+/// `__vec_len(elem, len)` call (a capacity sink); any other macro's
+/// argument tokens flatten into a [`ExprNode::Group`]. Returns the
+/// index just past the macro's delimiters.
+fn scan_expr_macro(
+    code: &[&Token],
+    name_idx: usize,
+    end: usize,
+    name: &str,
+    e: &mut Expr,
+    chain: &mut Vec<ExprNode>,
+) -> usize {
+    let line = code[name_idx].line;
+    let open = name_idx + 2;
+    let Some((oc, cc)) = code.get(open).and_then(|t| match t.tok {
+        Tok::Punct('(') => Some(('(', ')')),
+        Tok::Punct('[') => Some(('[', ']')),
+        Tok::Punct('{') => Some(('{', '}')),
+        _ => None,
+    }) else {
+        return name_idx + 2;
+    };
+    let close = skip_balanced(code, open, oc, cc);
+    let interior = (open + 1, close.saturating_sub(1).min(end));
+    if name == "vec" && oc == '[' {
+        // Find a depth-0 `;`: the `vec![elem; len]` repeat form.
+        let mut depth = 0i32;
+        let mut semi = None;
+        for (k, t) in code.iter().enumerate().take(interior.1).skip(interior.0) {
+            match &t.tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                Tok::Punct(';') if depth == 0 => {
+                    semi = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = semi {
+            let elem = scan_all_exprs(code, interior.0, s);
+            let len = scan_all_exprs(code, s + 1, interior.1);
+            e.push_chain(chain);
+            chain.push(ExprNode::Call(CallExpr {
+                name: "__vec_len".to_owned(),
+                recv: Recv::None,
+                receiver: None,
+                args: vec![elem, len],
+                turbofish: None,
+                line,
+            }));
+            return close;
+        }
+    }
+    let inner = scan_all_exprs(code, interior.0, interior.1);
+    e.push_chain(chain);
+    chain.push(ExprNode::Group(Box::new(inner)));
+    close
+}
+
+/// Scans `start..end` (a balanced block interior) into the flattened
+/// statement list. `tail_returns`: the region's tail expression is in
+/// return position (the fn body's top level, or a nested block that
+/// itself sits in tail position).
+fn scan_stmts(code: &[&Token], start: usize, end: usize, tail_returns: bool) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        let line = code[i].line;
+        match &code[i].tok {
+            Tok::Punct(';') | Tok::Punct(',') => i += 1,
+            Tok::Punct('#') if code.get(i + 1).is_some_and(|t| is_punct(t, '[')) => {
+                i = skip_balanced(code, i + 1, '[', ']');
+            }
+            // Deref-assignment target: retry as `name = …`.
+            Tok::Punct('*') => i += 1,
+            Tok::Punct('{') => {
+                let close = skip_balanced(code, i, '{', '}');
+                let after_arrow =
+                    i >= 2 && is_punct(code[i - 1], '>') && is_punct(code[i - 2], '=');
+                let tail = tail_returns && (after_arrow || only_trailing(code, close, end));
+                out.extend(scan_stmts(code, i + 1, close.saturating_sub(1), tail));
+                i = close;
+            }
+            Tok::Ident(w) => match w.as_str() {
+                "let" => i = scan_let_stmt(code, i, end, &mut out),
+                "if" => i = scan_if_chain(code, i, end, tail_returns, &mut out),
+                "while" => {
+                    let (pre, brace) = scan_cond(code, i + 1, end);
+                    out.extend(pre);
+                    if brace < end && is_punct(code[brace], '{') {
+                        let close = skip_balanced(code, brace, '{', '}');
+                        out.extend(scan_stmts(code, brace + 1, close.saturating_sub(1), false));
+                        i = close;
+                    } else {
+                        i = brace.max(i + 1);
+                    }
+                }
+                "for" => i = scan_for_loop(code, i, end, &mut out),
+                "match" => {
+                    let (scrut, brace, _) = scan_expr(code, i + 1, end, true);
+                    out.push(Stmt::Discard(scrut));
+                    if brace < end && is_punct(code[brace], '{') {
+                        let close = skip_balanced(code, brace, '{', '}');
+                        let tail = tail_returns && only_trailing(code, close, end);
+                        out.extend(scan_stmts(code, brace + 1, close.saturating_sub(1), tail));
+                        i = close;
+                    } else {
+                        i = brace.max(i + 1);
+                    }
+                }
+                "return" => {
+                    let (e, ni, _) = scan_expr(code, i + 1, end, false);
+                    out.push(Stmt::Return { expr: e, line });
+                    i = ni.max(i + 1);
+                }
+                // Blocks handled by the generic `{` case.
+                "loop" | "unsafe" | "else" | "break" | "continue" | "move" | "async" => i += 1,
+                "fn" => {
+                    // Nested fn: skip the signature, scan the body
+                    // inline (attributed to the enclosing item, like
+                    // `scan_body` does) but never in tail position.
+                    let mut j = i + 1;
+                    while j < end && !is_punct(code[j], '{') && !is_punct(code[j], ';') {
+                        if is_punct(code[j], '(') {
+                            j = skip_balanced(code, j, '(', ')');
+                        } else if is_punct(code[j], '<') {
+                            j = skip_balanced(code, j, '<', '>');
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    if j < end && is_punct(code[j], '{') {
+                        let close = skip_balanced(code, j, '{', '}');
+                        out.extend(scan_stmts(code, j + 1, close.saturating_sub(1), false));
+                        i = close;
+                    } else {
+                        i = j + 1;
+                    }
+                }
+                "use" | "const" | "static" | "type" | "struct" | "enum" | "mod" | "impl"
+                | "trait" | "macro_rules" => {
+                    // In-body items: skip to `;` or past their block.
+                    let mut j = i + 1;
+                    while j < end && !is_punct(code[j], '{') && !is_punct(code[j], ';') {
+                        j += 1;
+                    }
+                    i = if j < end && is_punct(code[j], '{') {
+                        skip_balanced(code, j, '{', '}')
+                    } else {
+                        j + 1
+                    };
+                }
+                _ => i = scan_assign_or_expr(code, i, end, tail_returns, &mut out),
+            },
+            _ => i = scan_assign_or_expr(code, i, end, tail_returns, &mut out),
+        }
+    }
+    out
+}
+
+/// Lowercase non-keyword idents in `start..end` — pattern bindings or
+/// guard-condition variables.
+fn lower_idents(code: &[&Token], start: usize, end: usize) -> Vec<String> {
+    let mut names = Vec::new();
+    for &t in code.iter().take(end).skip(start) {
+        if let Some(w) = ident(t) {
+            if !is_keyword(w) && !is_capitalized(w) && w != "_" && !names.iter().any(|n| n == w) {
+                names.push(w.to_owned());
+            }
+        }
+    }
+    names
+}
+
+/// `let <pat> [: Ty] = expr;` (also let-else). Returns the index past
+/// the statement.
+fn scan_let_stmt(code: &[&Token], let_idx: usize, end: usize, out: &mut Vec<Stmt>) -> usize {
+    let line = code[let_idx].line;
+    let mut depth = 0i32;
+    let mut j = let_idx + 1;
+    let mut pat_end = None;
+    let mut annot = None;
+    while j < end {
+        match &code[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+            // Type annotation: stop collecting names here, but not at
+            // `::` path separators inside patterns.
+            Tok::Punct(':')
+                if depth == 0
+                    && annot.is_none()
+                    && !code.get(j + 1).is_some_and(|t| is_punct(t, ':'))
+                    && !j.checked_sub(1).is_some_and(|p| is_punct(code[p], ':')) =>
+            {
+                annot = Some(j);
+            }
+            Tok::Punct('=') if depth == 0 && !code.get(j + 1).is_some_and(|t| is_punct(t, '=')) => {
+                pat_end = Some(j);
+                break;
+            }
+            Tok::Punct(';') if depth == 0 => {
+                // `let x;` — uninitialized.
+                let names = lower_idents(code, let_idx + 1, annot.unwrap_or(j));
+                out.push(Stmt::Let {
+                    names,
+                    expr: Expr::default(),
+                    line,
+                });
+                return j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let Some(eq) = pat_end else {
+        return end;
+    };
+    let names = lower_idents(code, let_idx + 1, annot.unwrap_or(eq));
+    let (expr, ni, _) = scan_expr(code, eq + 1, end, false);
+    out.push(Stmt::Let { names, expr, line });
+    ni.max(eq + 2)
+}
+
+/// Scans a condition region after `if`/`while` up to its block `{`:
+/// emits the condition's dataflow (a `Let` for `if let` patterns, a
+/// `Discard` otherwise) and returns (those stmts, index of the `{`).
+fn scan_cond(code: &[&Token], start: usize, end: usize) -> (Vec<Stmt>, usize) {
+    let mut pre = Vec::new();
+    if code.get(start).and_then(|t| ident(t)) == Some("let") {
+        // `if let <pat> = expr {` — bind the pattern from the expr.
+        let line = code[start].line;
+        let mut depth = 0i32;
+        let mut j = start + 1;
+        while j < end {
+            match &code[j].tok {
+                Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                Tok::Punct('=')
+                    if depth == 0 && !code.get(j + 1).is_some_and(|t| is_punct(t, '=')) =>
+                {
+                    let names = lower_idents(code, start + 1, j);
+                    let (expr, ni, _) = scan_expr(code, j + 1, end, true);
+                    pre.push(Stmt::Let { names, expr, line });
+                    return (pre, ni);
+                }
+                Tok::Punct('{') if depth == 0 => return (pre, j),
+                _ => {}
+            }
+            j += 1;
+        }
+        return (pre, end);
+    }
+    let (cond, brace, _) = scan_expr(code, start, end, true);
+    pre.push(Stmt::Discard(cond));
+    (pre, brace)
+}
+
+/// Whether `start..end` (a condition region) contains a comparison
+/// operator (`<`, `>`, `==`, `!=`).
+fn has_comparison(code: &[&Token], start: usize, end: usize) -> bool {
+    for k in start..end {
+        match &code[k].tok {
+            // Excluding `->` arrows (closure return types) and `=>`.
+            Tok::Punct('<') | Tok::Punct('>')
+                if !k
+                    .checked_sub(1)
+                    .is_some_and(|p| is_punct(code[p], '-') || is_punct(code[p], '=')) =>
+            {
+                return true;
+            }
+            Tok::Punct('=')
+                if code.get(k + 1).is_some_and(|t| is_punct(t, '='))
+                    || k.checked_sub(1).is_some_and(|p| is_punct(code[p], '!')) =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// An `if`/`else if`/`else` chain: flattens every arm's statements
+/// inline, then emits a [`Stmt::Guard`] for each comparison-guarded
+/// arm whose block exits early. Returns the index past the chain.
+fn scan_if_chain(
+    code: &[&Token],
+    if_idx: usize,
+    end: usize,
+    tail_returns: bool,
+    out: &mut Vec<Stmt>,
+) -> usize {
+    let mut arms: Vec<(usize, usize)> = Vec::new(); // block interiors
+    let mut guards: Vec<Stmt> = Vec::new();
+    let mut k = if_idx;
+    loop {
+        // `k` is at an `if`.
+        let cond_start = k + 1;
+        let (pre, brace) = scan_cond(code, cond_start, end);
+        let is_let = code.get(cond_start).and_then(|t| ident(t)) == Some("let");
+        out.extend(pre);
+        if brace >= end || !is_punct(code[brace], '{') {
+            return brace.max(k + 1);
+        }
+        let close = skip_balanced(code, brace, '{', '}');
+        let interior = (brace + 1, close.saturating_sub(1));
+        arms.push(interior);
+        if !is_let && has_comparison(code, cond_start, brace) {
+            let exits = (interior.0..interior.1)
+                .any(|j| ident(code[j]).is_some_and(|w| EXIT_IDENTS.contains(&w)));
+            if exits {
+                guards.push(Stmt::Guard {
+                    vars: lower_idents(code, cond_start, brace),
+                    line: code[k].line,
+                });
+            }
+        }
+        k = close;
+        if code.get(k).filter(|_| k < end).and_then(|t| ident(t)) == Some("else") {
+            if code.get(k + 1).and_then(|t| ident(t)) == Some("if") {
+                k += 1;
+                continue;
+            }
+            if code.get(k + 1).is_some_and(|t| is_punct(t, '{')) {
+                let close = skip_balanced(code, k + 1, '{', '}');
+                arms.push((k + 2, close.saturating_sub(1)));
+                k = close;
+            }
+        }
+        break;
+    }
+    let tail = tail_returns && only_trailing(code, k, end);
+    for (s, e) in arms {
+        out.extend(scan_stmts(code, s, e, tail));
+    }
+    out.extend(guards);
+    k
+}
+
+/// `for <pat> in bound { body }`: binds the pattern from the bound,
+/// records the loop (with whether the body grows a collection), and
+/// scans the body inline. Returns the index past the loop.
+fn scan_for_loop(code: &[&Token], for_idx: usize, end: usize, out: &mut Vec<Stmt>) -> usize {
+    let line = code[for_idx].line;
+    let mut depth = 0i32;
+    let mut j = for_idx + 1;
+    let mut in_idx = None;
+    while j < end {
+        match &code[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Ident(w) if w == "in" && depth == 0 => {
+                in_idx = Some(j);
+                break;
+            }
+            Tok::Punct('{') if depth == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    let Some(in_idx) = in_idx else {
+        return j.max(for_idx + 1);
+    };
+    let names = lower_idents(code, for_idx + 1, in_idx);
+    let (bound, brace, _) = scan_expr(code, in_idx + 1, end, true);
+    // `a..b` at depth 0 in the bound region marks a counted loop.
+    let mut depth = 0i32;
+    let mut counted = false;
+    for k in in_idx + 1..brace.min(end) {
+        match &code[k].tok {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Punct('.') if depth == 0 && code.get(k + 1).is_some_and(|t| is_punct(t, '.')) => {
+                counted = true;
+            }
+            _ => {}
+        }
+    }
+    out.push(Stmt::Let {
+        names,
+        expr: bound.clone(),
+        line,
+    });
+    if brace >= end || !is_punct(code[brace], '{') {
+        out.push(Stmt::Loop {
+            bound,
+            allocates: false,
+            counted,
+            line,
+        });
+        return brace.max(in_idx + 2);
+    }
+    let close = skip_balanced(code, brace, '{', '}');
+    let interior = (brace + 1, close.saturating_sub(1));
+    let allocates =
+        (interior.0..interior.1).any(|k| ident(code[k]).is_some_and(|w| GROW_CALLS.contains(&w)));
+    out.push(Stmt::Loop {
+        bound,
+        allocates,
+        counted,
+        line,
+    });
+    out.extend(scan_stmts(code, interior.0, interior.1, false));
+    close
+}
+
+/// A statement that is either an assignment (`name [.field]* [op]=
+/// expr`) or a bare expression statement; in a `tail_returns` region
+/// an unterminated trailing expression becomes a [`Stmt::Return`].
+fn scan_assign_or_expr(
+    code: &[&Token],
+    i: usize,
+    end: usize,
+    tail_returns: bool,
+    out: &mut Vec<Stmt>,
+) -> usize {
+    let line = code[i].line;
+    // Assignment lookahead: ident (. ident)* then `=` (not `==`/`=>`)
+    // or a compound `op=`.
+    if let Some(base) = ident(code[i]).filter(|w| !is_keyword(w)) {
+        let mut j = i;
+        while j + 2 < end && is_punct(code[j + 1], '.') && matches!(code[j + 2].tok, Tok::Ident(_))
+        {
+            j += 2;
+        }
+        let rhs_start = match code.get(j + 1).map(|t| &t.tok) {
+            Some(Tok::Punct('='))
+                if !code
+                    .get(j + 2)
+                    .is_some_and(|t| is_punct(t, '=') || is_punct(t, '>')) =>
+            {
+                Some(j + 2)
+            }
+            Some(Tok::Punct('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^'))
+                if code.get(j + 2).is_some_and(|t| is_punct(t, '=')) =>
+            {
+                Some(j + 3)
+            }
+            _ => None,
+        };
+        if let Some(rs) = rhs_start {
+            let (expr, ni, _) = scan_expr(code, rs, end, false);
+            out.push(Stmt::Assign {
+                name: base.to_owned(),
+                expr,
+                line,
+            });
+            return ni.max(rs);
+        }
+    }
+    let (expr, ni, stop) = scan_expr(code, i, end, false);
+    let is_tail = tail_returns
+        && match stop {
+            ExprStop::Semi => false,
+            ExprStop::Comma => true,
+            ExprStop::Brace => false,
+            ExprStop::End => only_trailing(code, ni, end),
+        };
+    if is_tail {
+        out.push(Stmt::Return { expr, line });
+    } else {
+        out.push(Stmt::Discard(expr));
+    }
+    ni.max(i + 1)
 }
 
 /// Counts bare arithmetic between value tokens (informational).

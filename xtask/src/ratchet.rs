@@ -16,7 +16,8 @@
 //!   glob ending in `*` (`crates/analytics/*`).
 //! * `fn-pattern` — bare name, `Type::name`, or `*`.
 //! * `rule` — a rule id (`unwrap`, `expect`, `panic-macro`, `index`,
-//!   `unsafe-no-contract`, `wrapper-untested`) or `*`.
+//!   `unsafe-no-contract`, `wrapper-untested`, `taint-capacity`,
+//!   `taint-read`, `taint-loop`) or `*`.
 //! * `count` — exact number of sites the entry acknowledges, or `*`.
 //!   An exact count is a two-sided ratchet: **more** sites fail the
 //!   audit (a regression), **fewer** sites also fail it with a
@@ -27,8 +28,11 @@
 //! * every finding group is covered by exactly-one-or-more entries;
 //!   uncovered groups fail;
 //! * every entry matches at least one group (stale entries fail);
-//! * no entry may cover a zero-zone region, and zero-zone findings
-//!   fail regardless of entries (see [`crate::audit::ZeroZone`]).
+//! * no entry may cover a zero-zone region of its own rule family
+//!   (panic-family zones vs `taint-*` zones are scoped separately,
+//!   so the text loaders can ratchet index sites while staying taint
+//!   zero zones), and zero-zone findings fail regardless of entries
+//!   (see [`crate::audit::ZeroZone`]).
 
 use std::path::PathBuf;
 
@@ -147,15 +151,32 @@ pub fn parse(text: &str) -> Result<Vec<RatchetEntry>, String> {
     Ok(entries)
 }
 
+/// Whether an entry could acknowledge findings of the given rule
+/// family (`taint` or not): zones are family-scoped, so a
+/// panic-family entry on a file that is only a *taint* zero zone is
+/// legal, and vice versa.
+fn entry_in_zones(e: &RatchetEntry, zones: &[ZeroZone], taint_zones: &[ZeroZone]) -> bool {
+    let covers_taint = e.rule_pat == "*" || crate::taint::is_taint_rule(&e.rule_pat);
+    let covers_panic = e.rule_pat == "*" || !crate::taint::is_taint_rule(&e.rule_pat);
+    (covers_panic && zones.iter().any(|z| e.overlaps_zone(z)))
+        || (covers_taint && taint_zones.iter().any(|z| e.overlaps_zone(z)))
+}
+
 /// Diffs finding groups against the ratchet. An empty return means
-/// the audit passes.
-pub fn check(groups: &[SiteGroup], entries: &[RatchetEntry], zones: &[ZeroZone]) -> Vec<Finding> {
+/// the audit passes. `zones` guards panic-family rules,
+/// `taint_zones` guards `taint-*` rules.
+pub fn check(
+    groups: &[SiteGroup],
+    entries: &[RatchetEntry],
+    zones: &[ZeroZone],
+    taint_zones: &[ZeroZone],
+) -> Vec<Finding> {
     let mut out = Vec::new();
     let ratchet_path = PathBuf::from("xtask/audit.ratchet");
 
     // Entries must keep out of zero zones.
     for e in entries {
-        if zones.iter().any(|z| e.overlaps_zone(z)) {
+        if entry_in_zones(e, zones, taint_zones) {
             out.push(Finding {
                 path: ratchet_path.clone(),
                 line: e.line,
@@ -247,7 +268,7 @@ pub fn check(groups: &[SiteGroup], entries: &[RatchetEntry], zones: &[ZeroZone])
     }
 
     for (ei, e) in entries.iter().enumerate() {
-        if !matched[ei] && !zones.iter().any(|z| e.overlaps_zone(z)) {
+        if !matched[ei] && !entry_in_zones(e, zones, taint_zones) {
             out.push(Finding {
                 path: ratchet_path.clone(),
                 line: e.line,
@@ -364,11 +385,13 @@ mod tests {
             &[group("crates/a/src/x.rs", "f", "index", 2, false)],
             &entries,
             &[],
+            &[],
         );
         assert!(ok.is_empty());
         let grew = check(
             &[group("crates/a/src/x.rs", "f", "index", 3, false)],
             &entries,
+            &[],
             &[],
         );
         assert_eq!(grew.len(), 1);
@@ -376,6 +399,7 @@ mod tests {
         let shrank = check(
             &[group("crates/a/src/x.rs", "f", "index", 1, false)],
             &entries,
+            &[],
             &[],
         );
         assert_eq!(shrank.len(), 1);
@@ -388,6 +412,7 @@ mod tests {
         let uncovered = check(
             &[group("crates/a/src/y.rs", "g", "unwrap", 1, false)],
             &entries,
+            &[],
             &[],
         );
         assert_eq!(uncovered.len(), 2); // unacknowledged group + stale entry
@@ -402,7 +427,7 @@ mod tests {
             group("crates/core/src/classic.rs", "a", "index", 7, false),
             group("crates/core/src/gorder.rs", "B::b", "unwrap", 2, false),
         ];
-        assert!(check(&groups, &entries, &[]).is_empty());
+        assert!(check(&groups, &entries, &[], &[]).is_empty());
     }
 
     #[test]
@@ -416,7 +441,7 @@ mod tests {
             1,
             true,
         )];
-        let out = check(&groups, &entries, &zones);
+        let out = check(&groups, &entries, &zones, &[]);
         assert!(out.iter().any(|f| f.rule == "ratchet-forbidden"));
         assert!(out.iter().any(|f| f.rule == "unwrap"));
         // Fn-scoped zones reject matching fn patterns but not others.
@@ -431,6 +456,38 @@ mod tests {
             parse("crates/engine/src/spec.rs TechniqueSpec::from_atoms panic-macro 1 # ctor\n")
                 .unwrap();
         assert!(!allow[0].overlaps_zone(&zone));
+    }
+
+    #[test]
+    fn zone_rejection_is_scoped_by_rule_family() {
+        let taint_zones = vec![ZeroZone::Prefix("crates/io/src/text.rs".to_owned())];
+        // A panic-family entry on a taint-only zero zone stays legal…
+        let panic_entry = parse("crates/io/src/text.rs * index 2 # own-scan offsets\n").unwrap();
+        let groups = [group("crates/io/src/text.rs", "f", "index", 2, false)];
+        assert!(check(&groups, &panic_entry, &[], &taint_zones).is_empty());
+        // …while taint-family and rule-wildcard entries are rejected.
+        for bad in [
+            "crates/io/src/text.rs * taint-capacity 1 # nope\n",
+            "crates/io/src/text.rs * * * # nope\n",
+        ] {
+            let e = parse(bad).unwrap();
+            let out = check(&groups, &e, &[], &taint_zones);
+            assert!(
+                out.iter().any(|f| f.rule == "ratchet-forbidden"),
+                "expected rejection for {bad}"
+            );
+        }
+        // Taint findings in a taint zone always fail, entry or not.
+        let zz = [group(
+            "crates/io/src/text.rs",
+            "f",
+            "taint-capacity",
+            1,
+            true,
+        )];
+        assert!(check(&zz, &[], &[], &taint_zones)
+            .iter()
+            .any(|f| f.rule == "taint-capacity"));
     }
 
     #[test]
@@ -449,6 +506,6 @@ mod tests {
         assert!(text.contains("crates/b/src/y.rs g unwrap 1 # TODO: justify"));
         // The regenerated file must parse and pass its own check.
         let reparsed = parse(&text).unwrap();
-        assert!(check(&groups, &reparsed, &[]).is_empty());
+        assert!(check(&groups, &reparsed, &[], &[]).is_empty());
     }
 }

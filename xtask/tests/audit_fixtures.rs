@@ -19,16 +19,20 @@ fn fixture(name: &str) -> Vec<SourceFile> {
     }]
 }
 
-/// Audit config treating every fixture `entry` fn as untrusted input.
+/// Audit config treating every fixture `entry` fn as untrusted input
+/// — for both the panic-reachability pass and the taint pass.
 fn fixture_cfg() -> AuditConfig {
+    let entries = vec![EntryPattern {
+        file_prefix: "fixtures/".to_owned(),
+        fn_name: Some("entry".to_owned()),
+    }];
     AuditConfig {
-        entries: vec![EntryPattern {
-            file_prefix: "fixtures/".to_owned(),
-            fn_name: Some("entry".to_owned()),
-        }],
+        entries: entries.clone(),
         zero_zones: vec![],
         provenance_prefixes: vec![],
         wrapper_prefixes: vec![],
+        taint_sources: entries,
+        taint_zero_zones: vec![],
     }
 }
 
@@ -91,16 +95,65 @@ fn ratchet_entries_absorb_exactly_their_acknowledged_group() {
         vec![("lookup", "index")]
     );
     // Unacknowledged: the audit gates.
-    let bare = ratchet::check(&outcome.groups, &[], &[]);
+    let bare = ratchet::check(&outcome.groups, &[], &[], &[]);
     assert_eq!(bare.len(), 1, "{bare:?}");
     // Acknowledged with a justification: it passes.
     let entries =
         ratchet::parse("fixtures/ratcheted.rs lookup index 1 # modulo-bounded\n").unwrap();
-    assert!(ratchet::check(&outcome.groups, &entries, &[]).is_empty());
+    assert!(ratchet::check(&outcome.groups, &entries, &[], &[]).is_empty());
     // And the count ratchets: claiming 2 sites when only 1 exists
     // (paid-down debt) fails until the entry shrinks.
     let stale = ratchet::parse("fixtures/ratcheted.rs lookup index 2 # modulo-bounded\n").unwrap();
-    assert!(!ratchet::check(&outcome.groups, &stale, &[]).is_empty());
+    assert!(!ratchet::check(&outcome.groups, &stale, &[], &[]).is_empty());
+}
+
+// ---- taint fixtures -----------------------------------------------
+
+#[test]
+fn tainted_size_straight_into_with_capacity_is_found() {
+    assert_eq!(
+        finding_set("taint_direct.rs"),
+        vec![("entry".to_owned(), "taint-capacity")]
+    );
+}
+
+#[test]
+fn tainted_size_through_two_calls_is_found_at_the_sink() {
+    assert_eq!(
+        finding_set("taint_interproc.rs"),
+        vec![("grow".to_owned(), "taint-capacity")]
+    );
+}
+
+#[test]
+fn min_against_a_constant_sanitizes() {
+    assert_eq!(finding_set("taint_sanitized_min.rs"), vec![]);
+}
+
+#[test]
+fn comparison_guarded_early_return_sanitizes() {
+    assert_eq!(finding_set("taint_guard.rs"), vec![]);
+}
+
+#[test]
+fn unresolved_receiver_fans_out_to_the_allocating_method() {
+    assert_eq!(
+        finding_set("taint_fanout.rs"),
+        vec![("Grower::fill".to_owned(), "taint-capacity")]
+    );
+}
+
+/// `--explain` reconstructs the full source -> call-arg -> sink chain
+/// for taint findings too.
+#[test]
+fn explain_walks_the_interprocedural_taint_chain() {
+    let outcome = audit::run(&fixture("taint_interproc.rs"), &fixture_cfg());
+    let lines = audit::explain(&outcome, "grow");
+    let joined = lines.join("\n");
+    assert!(joined.contains("source:"), "{joined}");
+    assert!(joined.contains("entry"), "{joined}");
+    assert!(joined.contains("build"), "{joined}");
+    assert!(joined.contains("sink:"), "{joined}");
 }
 
 /// The chain `--explain` prints walks entry -> ... -> site.
@@ -133,7 +186,12 @@ fn real_ratchet() -> Vec<ratchet::RatchetEntry> {
 fn committed_ratchet_keeps_the_real_workspace_audit_clean() {
     let cfg = AuditConfig::default();
     let outcome = audit::run(&real_sources(), &cfg);
-    let findings = ratchet::check(&outcome.groups, &real_ratchet(), &cfg.zero_zones);
+    let findings = ratchet::check(
+        &outcome.groups,
+        &real_ratchet(),
+        &cfg.zero_zones,
+        &cfg.taint_zero_zones,
+    );
     assert!(findings.is_empty(), "audit would fail CI:\n{findings:?}");
     // The serve/codec/parse zero zones really are at zero.
     assert!(
@@ -161,7 +219,12 @@ fn injected_unwrap_in_serve_fails_the_audit() {
     );
     let cfg = AuditConfig::default();
     let outcome = audit::run(&files, &cfg);
-    let findings = ratchet::check(&outcome.groups, &real_ratchet(), &cfg.zero_zones);
+    let findings = ratchet::check(
+        &outcome.groups,
+        &real_ratchet(),
+        &cfg.zero_zones,
+        &cfg.taint_zero_zones,
+    );
     assert!(
         findings
             .iter()
@@ -175,5 +238,69 @@ fn injected_unwrap_in_serve_fails_the_audit() {
             .iter()
             .any(|g| g.zero_zone && g.rule == "unwrap" && g.file.ends_with("protocol.rs")),
         "injected unwrap should be a zero-zone finding"
+    );
+}
+
+/// Injecting a request-sized `Vec::with_capacity` into the serve
+/// protocol must fail the audit, and no ratchet entry can acknowledge
+/// it: all of crates/serve is a taint zero zone, so an entry written
+/// to absorb the new group is itself rejected.
+#[test]
+fn injected_tainted_with_capacity_in_serve_fails_unratchetably() {
+    let mut files = real_sources();
+    let protocol = files
+        .iter_mut()
+        .find(|f| f.rel == "crates/serve/src/protocol.rs")
+        .expect("protocol.rs in sources");
+    let needle = "pub fn error_line(message: &str) -> String {";
+    assert!(protocol.src.contains(needle), "anchor fn moved");
+    protocol.src = protocol.src.replace(
+        needle,
+        "pub fn error_line(message: &str) -> String {\n    \
+         let hint = usize::from_str_radix(message, 10).unwrap_or(0);\n    \
+         let _bomb: Vec<u8> = Vec::with_capacity(hint);",
+    );
+    let cfg = AuditConfig::default();
+    let outcome = audit::run(&files, &cfg);
+    // The sink surfaces as a zero-zone taint group.
+    assert!(
+        outcome
+            .groups
+            .iter()
+            .any(|g| g.zero_zone && g.rule == "taint-capacity" && g.file.ends_with("protocol.rs")),
+        "injected tainted with_capacity should be a zero-zone finding"
+    );
+    let findings = ratchet::check(
+        &outcome.groups,
+        &real_ratchet(),
+        &cfg.zero_zones,
+        &cfg.taint_zero_zones,
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "taint-capacity" && f.path.to_string_lossy().contains("protocol.rs")),
+        "injected tainted with_capacity not flagged: {findings:?}"
+    );
+    // Attempting to ratchet it away fails: the entry covering a taint
+    // rule on a taint zero zone is rejected, and the group still gates.
+    let mut entries = real_ratchet();
+    entries.extend(
+        ratchet::parse(
+            "crates/serve/src/protocol.rs error_line taint-capacity 1 # trying to cheat\n",
+        )
+        .unwrap(),
+    );
+    let cheated = ratchet::check(
+        &outcome.groups,
+        &entries,
+        &cfg.zero_zones,
+        &cfg.taint_zero_zones,
+    );
+    assert!(
+        cheated
+            .iter()
+            .any(|f| f.message.contains("zero zone") || f.rule == "taint-capacity"),
+        "the cheat entry must not silence the zero-zone finding: {cheated:?}"
     );
 }

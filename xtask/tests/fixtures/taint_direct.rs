@@ -1,0 +1,6 @@
+//! Fixture: an attacker-controlled size flows straight into
+//! `Vec::with_capacity` — the most direct tainted-sink shape.
+
+pub fn entry(n: usize) -> Vec<u8> {
+    Vec::with_capacity(n)
+}

@@ -1,0 +1,21 @@
+//! Fixture: the receiver of `.fill(n)` is an unresolvable expression,
+//! so the call fans out to every same-name workspace method — the
+//! tainted size must be reported inside `Grower::fill`.
+
+pub struct Grower {
+    buf: Vec<u8>,
+}
+
+impl Grower {
+    pub fn fill(&mut self, n: usize) {
+        self.buf.reserve(n);
+    }
+}
+
+fn make() -> Grower {
+    Grower { buf: Vec::new() }
+}
+
+pub fn entry(n: usize) {
+    make().fill(n);
+}

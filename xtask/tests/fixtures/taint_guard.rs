@@ -1,0 +1,11 @@
+//! Fixture: a comparison-guarded early `Err` return bounds the size
+//! before the allocation — sanitized, no finding.
+
+pub fn entry(n: usize) -> Result<Vec<u8>, String> {
+    if n > 4096 {
+        return Err("size field too large".to_owned());
+    }
+    let mut buf: Vec<u8> = Vec::with_capacity(n);
+    buf.push(1);
+    Ok(buf)
+}

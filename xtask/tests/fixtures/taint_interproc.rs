@@ -1,0 +1,18 @@
+//! Fixture: the tainted size crosses two call boundaries before the
+//! sink — the finding must land in `grow`, with a provenance chain
+//! walking entry -> build -> grow.
+
+pub fn entry(n: usize) {
+    let scratch = build(n);
+    consume(scratch);
+}
+
+fn build(n: usize) -> Vec<u8> {
+    grow(n)
+}
+
+fn grow(cap: usize) -> Vec<u8> {
+    Vec::with_capacity(cap)
+}
+
+fn consume(_buf: Vec<u8>) {}

@@ -1,0 +1,9 @@
+//! Fixture: the attacker-controlled size is clamped with `.min(cap)`
+//! against a constant before the allocation — sanitized, no finding.
+
+pub fn entry(n: usize) -> Vec<u8> {
+    let bounded = n.min(4096);
+    let mut buf: Vec<u8> = Vec::with_capacity(bounded);
+    buf.push(0);
+    buf
+}
